@@ -1,0 +1,275 @@
+(* Benchmark harness.
+
+   Two sections:
+
+   1. Bechamel micro-benchmarks — one group per paper artifact: the Fig. 3
+      data-plane path (pre-processor + PIFO), the scheduler substrate the
+      Fig. 4 fabric runs on, and the control-plane synthesizer/policy
+      machinery.  These quantify the "at line rate" and "control plane"
+      claims of §3.2/§3.3.
+
+   2. Figure regeneration — the Fig. 4 sweep (both panels) and the two
+      ablations at CI scale, printing the same rows/series the paper
+      reports.  The full-scale sweep lives in `bin/experiments.exe`.
+
+   Run everything:        dune exec bench/main.exe
+   Only micro-benches:    dune exec bench/main.exe -- micro
+   Only figures:          dune exec bench/main.exe -- figures *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_plan () =
+  let tenants =
+    [
+      Qvisor.Tenant.make ~algorithm:"pfabric" ~rank_lo:0 ~rank_hi:30_000 ~id:0
+        ~name:"T1" ();
+      Qvisor.Tenant.make ~algorithm:"edf" ~rank_lo:0 ~rank_hi:150 ~id:1
+        ~name:"T2" ();
+      Qvisor.Tenant.make ~algorithm:"stfq" ~rank_lo:0 ~rank_hi:4_000 ~id:2
+        ~name:"T3" ();
+    ]
+  in
+  Qvisor.Synthesizer.synthesize_exn ~tenants
+    ~policy:(Qvisor.Policy.parse_exn "T1 >> T2 + T3")
+    ()
+
+let test_preprocessor =
+  let pre = Qvisor.Preprocessor.of_plan (fig3_plan ()) in
+  let packet = Sched.Packet.make ~tenant:1 ~rank:100 ~flow:1 ~size:1500 () in
+  Test.make ~name:"fig3/preprocessor-per-packet"
+    (Staged.stage (fun () ->
+         packet.Sched.Packet.rank <- 100;
+         Qvisor.Preprocessor.process pre packet))
+
+let qdisc_churn_test ~name make =
+  (* Steady-state enqueue+dequeue on a part-full queue. *)
+  let q = make () in
+  let rng = Engine.Rng.create ~seed:7 in
+  for _ = 1 to 64 do
+    ignore
+      (q.Sched.Qdisc.enqueue
+         (Sched.Packet.make
+            ~rank:(Engine.Rng.int_range rng ~lo:0 ~hi:65535)
+            ~flow:1 ~size:1500 ()))
+  done;
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (q.Sched.Qdisc.enqueue
+              (Sched.Packet.make
+                 ~rank:(Engine.Rng.int_range rng ~lo:0 ~hi:65535)
+                 ~flow:1 ~size:1500 ()));
+         ignore (q.Sched.Qdisc.dequeue ())))
+
+let test_fifo =
+  qdisc_churn_test ~name:"sched/fifo-enq-deq" (fun () ->
+      Sched.Fifo_queue.create ~capacity_pkts:256 ())
+
+let test_pifo =
+  qdisc_churn_test ~name:"fig3/pifo-enq-deq" (fun () ->
+      Sched.Pifo_queue.create ~capacity_pkts:256 ())
+
+let test_sp_pifo =
+  qdisc_churn_test ~name:"sched/sp-pifo-enq-deq" (fun () ->
+      Sched.Sp_pifo.create ~num_queues:8 ~queue_capacity_pkts:256 ())
+
+let test_aifo =
+  qdisc_churn_test ~name:"sched/aifo-enq-deq" (fun () ->
+      Sched.Aifo.create ~capacity_pkts:256 ())
+
+let test_drr =
+  qdisc_churn_test ~name:"sched/drr-enq-deq" (fun () ->
+      Sched.Drr_bank.create ~num_queues:8 ~queue_capacity_pkts:64
+        ~quantum_bytes:1518
+        ~classify:(fun p -> p.Sched.Packet.rank / 8192)
+        ())
+
+let test_calendar =
+  qdisc_churn_test ~name:"sched/calendar-enq-deq" (fun () ->
+      Sched.Calendar_queue.create ~num_buckets:32 ~bucket_width:2048
+        ~capacity_pkts:256 ())
+
+let test_pifo_tree =
+  qdisc_churn_test ~name:"sched/pifo-tree-enq-deq" (fun () ->
+      Sched.Pifo_tree.to_qdisc
+        ~classify:(fun p -> p.Sched.Packet.rank mod 3)
+        ~capacity_pkts:256
+        (Sched.Pifo_tree.strict
+           [
+             Sched.Pifo_tree.leaf ();
+             Sched.Pifo_tree.wfq
+               [ (Sched.Pifo_tree.leaf (), 1.0); (Sched.Pifo_tree.leaf (), 2.0) ];
+           ]))
+
+let test_synthesizer_small =
+  let tenants =
+    [
+      Qvisor.Tenant.make ~rank_hi:30_000 ~id:0 ~name:"pfabric" ();
+      Qvisor.Tenant.make ~rank_hi:150 ~id:1 ~name:"edf" ();
+    ]
+  in
+  let policy = Qvisor.Policy.parse_exn "pfabric >> edf" in
+  Test.make ~name:"synthesizer/2-tenant"
+    (Staged.stage (fun () ->
+         ignore (Qvisor.Synthesizer.synthesize_exn ~tenants ~policy ())))
+
+let test_synthesizer_large =
+  let tenants =
+    List.init 16 (fun i ->
+        Qvisor.Tenant.make ~rank_hi:10_000 ~id:i
+          ~name:(Printf.sprintf "T%d" i) ())
+  in
+  let policy =
+    Qvisor.Policy.parse_exn
+      "T0 >> T1 > T2 + T3 >> T4 + T5 + T6 + T7 >> T8 > T9 > T10 >> T11 + \
+       T12 >> T13 >> T14 + T15"
+  in
+  Test.make ~name:"synthesizer/16-tenant"
+    (Staged.stage (fun () ->
+         ignore (Qvisor.Synthesizer.synthesize_exn ~tenants ~policy ())))
+
+let test_policy_parse =
+  Test.make ~name:"policy/parse"
+    (Staged.stage (fun () ->
+         ignore (Qvisor.Policy.parse_exn "T1 >> T2 > T3 + T4 >> T5")))
+
+let test_ranker_pfabric =
+  let ranker = Sched.Ranker.pfabric () in
+  let p = Sched.Packet.make ~remaining:250_000 ~flow:1 ~size:1500 () in
+  Test.make ~name:"ranker/pfabric-tag"
+    (Staged.stage (fun () -> ignore (Sched.Ranker.tag ranker ~now:0. p)))
+
+let test_ranker_stfq =
+  let ranker = Sched.Ranker.stfq () in
+  let p = Sched.Packet.make ~flow:1 ~size:1500 () in
+  Test.make ~name:"ranker/stfq-tag"
+    (Staged.stage (fun () -> ignore (Sched.Ranker.tag ranker ~now:0. p)))
+
+let test_analysis =
+  let plan = fig3_plan () in
+  Test.make ~name:"analysis/check-plan"
+    (Staged.stage (fun () -> ignore (Qvisor.Analysis.check plan)))
+
+let all_micro =
+  Test.make_grouped ~name:"qvisor"
+    [
+      test_preprocessor;
+      test_pifo;
+      test_fifo;
+      test_sp_pifo;
+      test_aifo;
+      test_drr;
+      test_calendar;
+      test_pifo_tree;
+      test_synthesizer_small;
+      test_synthesizer_large;
+      test_policy_parse;
+      test_ranker_pfabric;
+      test_ranker_stfq;
+      test_analysis;
+    ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances all_micro in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "@[<v>== micro-benchmarks (ns/op, OLS on monotonic clock) ==@,";
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, ns) -> Format.printf "%-40s %12.1f ns/op@," name ns) rows;
+  Format.printf "@]@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure regeneration (CI scale)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures () =
+  let params = Experiments.Fig4.quick in
+  let loads = [ 0.2; 0.5; 0.8 ] in
+  Format.printf
+    "== Fig. 4 (quick scale: %d hosts; full sweep via bin/experiments.exe) ==@."
+    (params.Experiments.Fig4.leaves * params.Experiments.Fig4.hosts_per_leaf);
+  let results =
+    Experiments.Fig4.sweep params ~loads ~schemes:Experiments.Fig4.paper_schemes
+  in
+  Format.printf "%a@." Experiments.Fig4.print_fig4 results;
+  (* Ablation A1: quantization levels. *)
+  Format.printf
+    "@.== Ablation A1: quantization levels (QVISOR pfabric + edf, load %.1f) ==@."
+    params.Experiments.Fig4.load;
+  List.iter
+    (fun levels ->
+      let r =
+        Experiments.Fig4.run
+          { params with Experiments.Fig4.levels = Some levels }
+          (Experiments.Fig4.Qvisor_policy "pfabric + edf")
+      in
+      Format.printf "levels %4d: small %.3f ms, large %.3f ms, cbr-ok %.3f@."
+        levels r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.large_mean_ms
+        r.Experiments.Fig4.cbr_deadline_fraction)
+    [ 4; 16; 64; 256 ];
+  (* Ablation A2: deployment backends. *)
+  let cap = params.Experiments.Fig4.queue_capacity_pkts in
+  Format.printf
+    "@.== Ablation A2: deployment backends (QVISOR pfabric >> edf, load %.1f) ==@."
+    params.Experiments.Fig4.load;
+  List.iter
+    (fun (name, backend) ->
+      let r =
+        Experiments.Fig4.run
+          { params with Experiments.Fig4.backend }
+          (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
+      in
+      Format.printf "%-18s: small %.3f ms, large %.3f ms, drops %d@." name
+        r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.large_mean_ms
+        r.Experiments.Fig4.drops)
+    [
+      ("ideal PIFO", None);
+      ( "SP bank (2q)",
+        Some (Qvisor.Deploy.Sp_bank { num_queues = 2; queue_capacity_pkts = cap }) );
+      ( "SP bank (8q)",
+        Some (Qvisor.Deploy.Sp_bank { num_queues = 8; queue_capacity_pkts = cap }) );
+      ( "SP-PIFO (8q)",
+        Some (Qvisor.Deploy.Sp_pifo { num_queues = 8; queue_capacity_pkts = cap }) );
+    ];
+  (* Ablation A3: tenant churn (Fig. 2 timeline) at CI scale. *)
+  let churn_params =
+    {
+      Experiments.Churn.default with
+      Experiments.Churn.t_end = 0.15;
+      t_join = 0.06;
+      drain = 0.2;
+    }
+  in
+  let naive = Experiments.Churn.run churn_params ~qvisor:false in
+  let qvisor = Experiments.Churn.run churn_params ~qvisor:true in
+  Format.printf "@.%a@." Experiments.Churn.print [ naive; qvisor ]
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "micro" -> run_micro ()
+  | "figures" -> run_figures ()
+  | _ ->
+    run_micro ();
+    run_figures ());
+  Format.printf "@.bench: done@."

@@ -1,0 +1,288 @@
+(* Experiment driver: regenerates every figure of the paper plus the
+   ablations documented in DESIGN.md.  See EXPERIMENTS.md for recorded
+   outputs. *)
+
+open Cmdliner
+
+let params_of_scale = function
+  | "quick" -> Experiments.Fig4.quick
+  | "default" -> Experiments.Fig4.default
+  | "paper" -> Experiments.Fig4.paper_scale
+  | s -> failwith ("unknown scale: " ^ s ^ " (quick|default|paper)")
+
+let scale_arg =
+  let doc = "Fabric scale: quick (8 hosts), default (24 hosts), paper (144 hosts)." in
+  Arg.(value & opt string "default" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let loads_arg =
+  let doc = "Comma-separated loads (default: the paper's 0.2..0.8)." in
+  Arg.(value & opt (some string) None & info [ "loads" ] ~docv:"LOADS" ~doc)
+
+let parse_loads = function
+  | None -> Experiments.Fig4.paper_loads
+  | Some s -> List.map float_of_string (String.split_on_char ',' s)
+
+let progress fmt = Format.eprintf fmt
+
+let config_arg =
+  let doc = "Load experiment parameters from a key=value config file (see Experiments.Config); --scale is ignored when given." in
+  Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE" ~doc)
+
+let resolve_params scale config seed =
+  match config with
+  | None -> { (params_of_scale scale) with Experiments.Fig4.seed }
+  | Some path -> (
+    match Experiments.Config.load path with
+    | Ok params -> { params with Experiments.Fig4.seed }
+    | Error e ->
+      Format.eprintf "config error: %s@." e;
+      exit 1)
+
+let csv_arg =
+  let doc = "Also write the raw series to this CSV file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let fig4_cmd =
+  let run scale seed loads csv config =
+    let params = resolve_params scale config seed in
+    let loads = parse_loads loads in
+    let results =
+      List.concat_map
+        (fun load ->
+          List.map
+            (fun scheme ->
+              progress "running load %.2f %s...@." load
+                (Experiments.Fig4.scheme_name scheme);
+              Experiments.Fig4.run { params with Experiments.Fig4.load } scheme)
+            Experiments.Fig4.paper_schemes)
+        loads
+    in
+    Format.printf "%a@." Experiments.Fig4.print_fig4 results;
+    match csv with
+    | None -> ()
+    | Some path ->
+      Experiments.Export.save_fig4 path results;
+      progress "wrote %s@." path
+  in
+  let doc = "Regenerate Fig. 4 (both panels): pFabric FCT vs load, six schemes." in
+  Cmd.v (Cmd.info "fig4" ~doc)
+    Term.(const run $ scale_arg $ seed_arg $ loads_arg $ csv_arg $ config_arg)
+
+let ablation_quant_cmd =
+  let run scale seed =
+    let params = { (params_of_scale scale) with Experiments.Fig4.seed } in
+    let results =
+      List.map
+        (fun levels ->
+          progress "running quantization levels %d...@." levels;
+          let r =
+            Experiments.Fig4.run
+              { params with Experiments.Fig4.levels = Some levels }
+              (Experiments.Fig4.Qvisor_policy "pfabric + edf")
+          in
+          (levels, r))
+        [ 4; 8; 16; 32; 64; 128; 256 ]
+    in
+    Format.printf
+      "@[<v>Ablation A1 — normalization quantization (QVISOR pfabric + edf, \
+       load %.2f)@,%-8s | %14s | %14s | %10s@,"
+      params.Experiments.Fig4.load "levels" "small FCT (ms)" "large FCT (ms)"
+      "cbr-ok";
+    List.iter
+      (fun (levels, r) ->
+        Format.printf "%-8d | %14.3f | %14.3f | %10.3f@," levels
+          r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.large_mean_ms
+          r.Experiments.Fig4.cbr_deadline_fraction)
+      results;
+    Format.printf "@]@."
+  in
+  let doc = "Ablation A1: FCT sensitivity to rank-normalization quantization." in
+  Cmd.v (Cmd.info "ablation-quant" ~doc) Term.(const run $ scale_arg $ seed_arg)
+
+let ablation_backend_cmd =
+  let run scale seed =
+    let params = { (params_of_scale scale) with Experiments.Fig4.seed } in
+    let cap = params.Experiments.Fig4.queue_capacity_pkts in
+    let backends =
+      [
+        ("ideal PIFO", None);
+        ( "SP bank, 2 queues",
+          Some (Qvisor.Deploy.Sp_bank { num_queues = 2; queue_capacity_pkts = cap }) );
+        ( "SP bank, 4 queues",
+          Some (Qvisor.Deploy.Sp_bank { num_queues = 4; queue_capacity_pkts = cap }) );
+        ( "SP bank, 8 queues",
+          Some (Qvisor.Deploy.Sp_bank { num_queues = 8; queue_capacity_pkts = cap }) );
+        ( "SP bank, 32 queues",
+          Some (Qvisor.Deploy.Sp_bank { num_queues = 32; queue_capacity_pkts = cap }) );
+        ( "SP-PIFO, 8 queues",
+          Some (Qvisor.Deploy.Sp_pifo { num_queues = 8; queue_capacity_pkts = cap }) );
+        ( "AIFO",
+          Some (Qvisor.Deploy.Aifo { capacity_pkts = cap; window = 8 * cap; k = 0.1 }) );
+        ( "DRR bank, 8 queues",
+          Some
+            (Qvisor.Deploy.Drr_bank
+               { num_queues = 8; queue_capacity_pkts = cap; quantum_bytes = 1518 }) );
+        ( "calendar, 32 buckets",
+          Some
+            (Qvisor.Deploy.Calendar
+               { num_buckets = 32; bucket_width = 2048; capacity_pkts = cap }) );
+      ]
+    in
+    Format.printf
+      "@[<v>Ablation A2 — deployment backend fidelity (QVISOR pfabric >> edf, \
+       load %.2f)@,%-20s | %14s | %14s | %8s@,"
+      params.Experiments.Fig4.load "backend" "small FCT (ms)" "large FCT (ms)"
+      "drops";
+    List.iter
+      (fun (name, backend) ->
+        progress "running backend %s...@." name;
+        let r =
+          Experiments.Fig4.run
+            { params with Experiments.Fig4.backend }
+            (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
+        in
+        Format.printf "%-20s | %14.3f | %14.3f | %8d@," name
+          r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.large_mean_ms
+          r.Experiments.Fig4.drops)
+      backends;
+    progress "running backend PIFO tree...@.";
+    let tree =
+      Experiments.Fig4.run
+        { params with Experiments.Fig4.tree_backend = true }
+        (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
+    in
+    Format.printf "%-20s | %14.3f | %14.3f | %8d@," "PIFO tree (direct)"
+      tree.Experiments.Fig4.small_mean_ms tree.Experiments.Fig4.large_mean_ms
+      tree.Experiments.Fig4.drops;
+    Format.printf "@]@."
+  in
+  let doc = "Ablation A2: ideal PIFO vs commodity schedulers under QVISOR." in
+  Cmd.v (Cmd.info "ablation-backend" ~doc) Term.(const run $ scale_arg $ seed_arg)
+
+let churn_cmd =
+  let run seed =
+    let params = { Experiments.Churn.default with Experiments.Churn.seed } in
+    progress "running churn (naive)...@.";
+    let naive = Experiments.Churn.run params ~qvisor:false in
+    progress "running churn (qvisor)...@.";
+    let qvisor = Experiments.Churn.run params ~qvisor:true in
+    Format.printf "%a@.@.%a@." Experiments.Churn.print [ naive; qvisor ]
+      Experiments.Churn.print_activity qvisor
+  in
+  let doc = "Ablation A3: tenant churn (the paper's Fig. 2 timeline)." in
+  Cmd.v (Cmd.info "churn" ~doc) Term.(const run $ seed_arg)
+
+let single_cmd =
+  let scheme_arg =
+    let doc =
+      "Scheme: fifo | pifo-naive | pifo-ideal | a QVISOR policy string such \
+       as 'pfabric >> edf'."
+    in
+    Arg.(value & opt string "pfabric >> edf" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let load_arg =
+    let doc = "pFabric tenant load." in
+    Arg.(value & opt float 0.5 & info [ "load" ] ~docv:"LOAD" ~doc)
+  in
+  let run scale seed scheme load config =
+    let params =
+      { (resolve_params scale config seed) with Experiments.Fig4.load }
+    in
+    let scheme =
+      match scheme with
+      | "fifo" -> Experiments.Fig4.Fifo_both
+      | "pifo-naive" -> Experiments.Fig4.Pifo_naive
+      | "pifo-ideal" -> Experiments.Fig4.Pifo_pfabric_only
+      | policy -> Experiments.Fig4.Qvisor_policy policy
+    in
+    let r = Experiments.Fig4.run params scheme in
+    Format.printf
+      "@[<v>%s @ load %.2f@,small mean %.3f ms (p99 %.3f)@,large mean %.3f ms \
+       (p99 %.3f)@,completed %d/%d, drops %d, cbr-ok %s@]@."
+      r.Experiments.Fig4.scheme r.Experiments.Fig4.load
+      r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.small_p99_ms
+      r.Experiments.Fig4.large_mean_ms r.Experiments.Fig4.large_p99_ms
+      r.Experiments.Fig4.flows_completed r.Experiments.Fig4.flows_started
+      r.Experiments.Fig4.drops
+      (if Float.is_nan r.Experiments.Fig4.cbr_deadline_fraction then "-"
+       else Printf.sprintf "%.3f" r.Experiments.Fig4.cbr_deadline_fraction)
+  in
+  let doc = "Run a single (scheme, load) point." in
+  Cmd.v (Cmd.info "single" ~doc)
+    Term.(const run $ scale_arg $ seed_arg $ scheme_arg $ load_arg $ config_arg)
+
+let validate_cmd =
+  let run seed =
+    (* Isolated flows of fixed sizes across the quick fabric, measured in
+       simulation vs the analytic fluid model. *)
+    let params = { Experiments.Fig4.quick with Experiments.Fig4.seed } in
+    Format.printf
+      "@[<v>Simulator cross-validation: isolated flow FCT, packet sim vs        fluid model@,%-12s | %12s | %12s | %6s@," "size" "sim (ms)"
+      "fluid (ms)" "ratio";
+    List.iter
+      (fun size ->
+        let topo =
+          Netsim.Topology.leaf_spine ~leaves:params.Experiments.Fig4.leaves
+            ~spines:params.Experiments.Fig4.spines
+            ~hosts_per_leaf:params.Experiments.Fig4.hosts_per_leaf
+            ~access_rate:params.Experiments.Fig4.access_rate
+            ~fabric_rate:params.Experiments.Fig4.fabric_rate
+            ~link_delay:params.Experiments.Fig4.link_delay
+        in
+        let routing = Netsim.Routing.compute topo in
+        let sim = Engine.Sim.create () in
+        let transport = Netsim.Transport.create ~sim () in
+        let net =
+          Netsim.Net.create ~sim ~topo ~routing
+            ~make_qdisc:(fun _ ->
+              Sched.Fifo_queue.create
+                ~capacity_pkts:params.Experiments.Fig4.queue_capacity_pkts ())
+            ~deliver:(Netsim.Transport.deliver transport)
+            ()
+        in
+        Netsim.Transport.attach transport net;
+        let measured = ref nan in
+        ignore
+          (Netsim.Transport.start_flow transport ~tenant:0
+             ~ranker:(Sched.Ranker.pfabric ())
+             ~src:0
+             ~dst:(params.Experiments.Fig4.hosts_per_leaf + 1)
+             ~size ~window:params.Experiments.Fig4.window
+             ~on_complete:(fun r -> measured := Netsim.Transport.fct r)
+             ());
+        Engine.Sim.run sim;
+        let predicted =
+          Netsim.Fluid.estimate_fct ~size ~mtu_payload:1460
+            ~window:params.Experiments.Fig4.window
+            ~rates:
+              (Netsim.Fluid.leaf_spine_path_rates ~intra_leaf:false
+                 ~access_rate:params.Experiments.Fig4.access_rate
+                 ~fabric_rate:params.Experiments.Fig4.fabric_rate)
+            ~link_delay:params.Experiments.Fig4.link_delay ~load:0.
+        in
+        Format.printf "%-12d | %12.4f | %12.4f | %6.2f@," size
+          (1e3 *. !measured) (1e3 *. predicted) (!measured /. predicted))
+      [ 1_500; 10_000; 100_000; 1_000_000; 10_000_000 ];
+    Format.printf "@]@."
+  in
+  let doc = "Cross-validate the packet simulator against the fluid FCT model." in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ seed_arg)
+
+let () =
+  let doc = "QVISOR evaluation harness (paper figures and ablations)" in
+  let info = Cmd.info "experiments" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig4_cmd;
+            ablation_quant_cmd;
+            ablation_backend_cmd;
+            churn_cmd;
+            single_cmd;
+            validate_cmd;
+          ]))

@@ -1,0 +1,203 @@
+(* qvisor-cli: synthesize and inspect joint scheduling plans from the
+   command line.
+
+   Example:
+     qvisor-cli plan --tenant 'T1:pfabric:0:30000' --tenant 'T2:edf:0:100' \
+                     --policy 'T1 >> T2' --queues 8
+*)
+
+open Cmdliner
+
+(* Tenant spec syntax: NAME:ALGO:LO:HI[:WEIGHT]. *)
+let parse_tenant idx spec =
+  match String.split_on_char ':' spec with
+  | [ name; algo; lo; hi ] ->
+    Qvisor.Tenant.make ~algorithm:algo ~rank_lo:(int_of_string lo)
+      ~rank_hi:(int_of_string hi) ~id:idx ~name ()
+  | [ name; algo; lo; hi; w ] ->
+    Qvisor.Tenant.make ~algorithm:algo ~rank_lo:(int_of_string lo)
+      ~rank_hi:(int_of_string hi) ~weight:(float_of_string w) ~id:idx ~name ()
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "bad tenant spec %S (expected NAME:ALGO:LO:HI[:WEIGHT])" spec)
+
+let tenants_arg =
+  let doc = "Tenant spec NAME:ALGO:LO:HI[:WEIGHT]; repeatable." in
+  Arg.(value & opt_all string [] & info [ "tenant"; "t" ] ~docv:"TENANT" ~doc)
+
+let spec_file_arg =
+  let doc =
+    "Read the tenants and policy from a JSON spec file (the format \
+     emitted under \"spec\" by `plan --json`); overrides --tenant/--policy."
+  in
+  Arg.(value & opt (some string) None & info [ "spec-file" ] ~docv:"FILE" ~doc)
+
+(* Resolve the (tenants, policy) inputs from either a spec file or the
+   command-line flags. *)
+let resolve_spec spec_file tenant_specs policy_str =
+  match spec_file with
+  | Some path -> (
+    let contents =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error e ->
+        Format.eprintf "cannot read %s: %s@." path e;
+        exit 1
+    in
+    match Engine.Json.of_string contents with
+    | Error e ->
+      Format.eprintf "json error in %s: %s@." path e;
+      exit 1
+    | Ok json -> (
+      match Qvisor.Serialize.spec_of_json json with
+      | Ok spec -> spec
+      | Error e ->
+        Format.eprintf "spec error in %s: %s@." path e;
+        exit 1))
+  | None ->
+    if tenant_specs = [] then begin
+      Format.eprintf "no tenants: pass --tenant or --spec-file@.";
+      exit 1
+    end;
+    let policy_str =
+      match policy_str with
+      | Some s -> s
+      | None ->
+        Format.eprintf "no policy: pass --policy or --spec-file@.";
+        exit 1
+    in
+    let tenants = List.mapi parse_tenant tenant_specs in
+    let policy =
+      match Qvisor.Policy.parse policy_str with
+      | Ok p -> p
+      | Error e ->
+        Format.eprintf "policy error: %s@." e;
+        exit 1
+    in
+    (tenants, policy)
+
+let policy_arg =
+  let doc = "Operator policy, e.g. 'T1 >> T2 + T3'." in
+  Arg.(value & opt (some string) None & info [ "policy"; "p" ] ~docv:"POLICY" ~doc)
+
+let queues_arg =
+  let doc = "Also derive a strict-priority queue mapping for this many queues." in
+  Arg.(value & opt (some int) None & info [ "queues"; "q" ] ~docv:"N" ~doc)
+
+let levels_arg =
+  let doc = "Quantization levels per tenant." in
+  Arg.(value & opt (some int) None & info [ "levels" ] ~docv:"L" ~doc)
+
+let json_arg =
+  let doc = "Emit the plan and analysis as JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let pipeline_arg =
+  let doc =
+    "Also compile the plan to a match-action pipeline (multiply-shift-add      actions) and print the table with its worst-case rank error."
+  in
+  Arg.(value & flag & info [ "pipeline" ] ~doc)
+
+let plan_cmd =
+  let run tenant_specs policy_str queues levels json spec_file pipeline =
+    let tenants, policy = resolve_spec spec_file tenant_specs policy_str in
+    let config = { Qvisor.Synthesizer.default_config with levels } in
+    match Qvisor.Synthesizer.synthesize ~config ~tenants ~policy () with
+    | Error e ->
+      Format.eprintf "synthesis error: %s@." e;
+      exit 1
+    | Ok plan when json ->
+      let report = Qvisor.Analysis.check plan in
+      let payload =
+        Engine.Json.Obj
+          [
+            ("spec", Qvisor.Serialize.spec_to_json ~tenants ~policy);
+            ("plan", Qvisor.Serialize.plan_to_json plan);
+            ("analysis", Qvisor.Serialize.report_to_json report);
+          ]
+      in
+      print_endline (Engine.Json.to_string ~pretty:true payload);
+      if not report.Qvisor.Analysis.feasible then exit 2
+    | Ok plan ->
+      Format.printf "%a@.@." Qvisor.Synthesizer.pp_plan plan;
+      let report = Qvisor.Analysis.check plan in
+      Format.printf "%a@.@." Qvisor.Analysis.pp_report report;
+      (match Qvisor.Analysis.starvation_risk plan with
+      | [] -> Format.printf "starvation risk: none@."
+      | at_risk ->
+        Format.printf "starvation risk (by design of >>): %s@."
+          (String.concat ", "
+             (List.map (fun t -> t.Qvisor.Tenant.name) at_risk)));
+      (match queues with
+      | None -> ()
+      | Some n ->
+        let bounds = Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:n in
+        Format.printf "@.queue mapping (%d strict-priority queues):@." n;
+        Array.iteri
+          (fun i b ->
+            let lo = if i = 0 then plan.Qvisor.Synthesizer.rank_lo else bounds.(i - 1) + 1 in
+            Format.printf "  queue %d: ranks [%d, %d]@." i lo b)
+          bounds);
+      (if pipeline then
+         match Qvisor.Pipeline.compile plan with
+         | Ok program ->
+           Format.printf "@.%a@." Qvisor.Pipeline.pp_program program
+         | Error e -> Format.printf "@.pipeline compilation failed: %s@." e);
+      if not report.Qvisor.Analysis.feasible then exit 2
+  in
+  let doc = "Synthesize a joint scheduling plan and analyze its guarantees." in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(
+      const run $ tenants_arg $ policy_arg $ queues_arg $ levels_arg $ json_arg
+      $ spec_file_arg $ pipeline_arg)
+
+let fit_cmd =
+  let queues_required =
+    let doc = "Strict-priority queues available on the target switch." in
+    Arg.(required & opt (some int) None & info [ "queues"; "q" ] ~docv:"N" ~doc)
+  in
+  let run tenant_specs policy_str num_queues spec_file =
+    let tenants, policy = resolve_spec spec_file tenant_specs policy_str in
+    let resources = { Qvisor.Search.num_queues; queue_capacity_pkts = 64 } in
+    match Qvisor.Search.fit ~tenants ~policy ~resources () with
+    | Error e ->
+      Format.eprintf "fit error: %s@." e;
+      exit 1
+    | Ok proposal ->
+      Format.printf "%a@." Qvisor.Search.pp_proposal proposal;
+      if not proposal.Qvisor.Search.exact_fit then exit 3
+  in
+  let doc =
+    "Fit a policy onto limited scheduler resources, proposing the closest \
+     deployable relaxation (exit 3 when guarantees had to be weakened)."
+  in
+  Cmd.v (Cmd.info "fit" ~doc)
+    Term.(const run $ tenants_arg $ policy_arg $ queues_required $ spec_file_arg)
+
+let check_cmd =
+  let run policy_str =
+    let policy_str =
+      match policy_str with
+      | Some s -> s
+      | None ->
+        Format.eprintf "no policy: pass --policy@.";
+        exit 1
+    in
+    match Qvisor.Policy.parse policy_str with
+    | Ok p ->
+      Format.printf "ok: %s@." (Qvisor.Policy.to_string p);
+      Format.printf "tenants: %s@."
+        (String.concat ", " (Qvisor.Policy.tenant_names p));
+      Format.printf "strict tiers: %d@." (List.length (Qvisor.Policy.strict_tiers p))
+    | Error e ->
+      Format.eprintf "parse error: %s@." e;
+      exit 1
+  in
+  let doc = "Parse and echo an operator policy." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ policy_arg)
+
+let () =
+  let doc = "QVISOR control-plane tools" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "qvisor-cli" ~doc) [ plan_cmd; fit_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/datacenter_fct.ml: Experiments Float Format List Printf

@@ -1,0 +1,1 @@
+examples/hypervisor_fabric.ml: Engine Filename Format List Netsim Qvisor Sched Sys

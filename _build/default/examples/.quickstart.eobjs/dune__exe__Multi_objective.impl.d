@@ -1,0 +1,1 @@
+examples/multi_objective.ml: Engine Format List Netsim Printf Sched String

@@ -1,0 +1,1 @@
+examples/policy_tour.ml: Array Format List Printf Qvisor Sched String

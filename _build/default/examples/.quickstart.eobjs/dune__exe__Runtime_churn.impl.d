@@ -1,0 +1,1 @@
+examples/runtime_churn.ml: Format List Qvisor Sched

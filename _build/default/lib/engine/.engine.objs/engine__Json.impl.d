@@ -1,0 +1,1 @@
+lib/engine/json.ml: Buffer Char Float List Printf String

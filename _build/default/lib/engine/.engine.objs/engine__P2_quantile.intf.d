@@ -1,0 +1,1 @@
+lib/engine/p2_quantile.mli:

@@ -1,0 +1,1 @@
+lib/engine/timeseries.ml: Float Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/engine/timeseries.mli: Format

@@ -1,0 +1,37 @@
+(** A minimal JSON library (emitter + recursive-descent parser).
+
+    Self-contained so the toolkit has no external dependency; covers the
+    full JSON grammar except that numbers are always represented as OCaml
+    floats (ints round-trip exactly up to 2^53, far beyond any rank). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default false) adds newlines and 2-space
+    indentation.  Strings are escaped per RFC 8259 (including control
+    characters); non-finite numbers raise [Invalid_argument]. *)
+
+val of_string : string -> (t, string) result
+(** Parse; errors carry a character position. *)
+
+(** Accessors returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object. *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** A [Number] that is integral. *)
+
+val to_str : t -> string option
+
+val to_list : t -> t list option
+
+val to_bool : t -> bool option

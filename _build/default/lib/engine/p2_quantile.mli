@@ -1,0 +1,20 @@
+(** Streaming quantile estimation with the P² algorithm
+    (Jain & Chlamtac, CACM 1985).
+
+    Constant memory (five markers), suitable for estimating rank-distribution
+    quantiles of a live packet stream inside QVISOR's runtime monitor, where
+    retaining samples is not an option. *)
+
+type t
+
+val create : q:float -> t
+(** [create ~q] tracks the [q]-quantile, [0. < q < 1.].
+    @raise Invalid_argument otherwise. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val estimate : t -> float
+(** Current estimate.  With fewer than five observations this is the exact
+    quantile of what has been seen; [nan] when empty. *)

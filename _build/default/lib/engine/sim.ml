@@ -1,0 +1,52 @@
+type handle = { mutable live : bool; action : unit -> unit }
+
+type t = { mutable clock : float; queue : handle Event_queue.t }
+
+let create () = { clock = 0.; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
+  let h = { live = true; action = f } in
+  Event_queue.push t.queue ~time h;
+  h
+
+let schedule_after t ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel h = h.live <- false
+
+let is_pending h = h.live
+
+let fire t time h =
+  t.clock <- time;
+  if h.live then begin
+    h.live <- false;
+    h.action ()
+  end
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, h) ->
+    fire t time h;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match Event_queue.peek_time t.queue with
+      | Some time when time <= horizon -> ignore (step t)
+      | Some _ | None ->
+        t.clock <- max t.clock horizon;
+        continue := false
+    done
+
+let pending_events t = Event_queue.size t.queue

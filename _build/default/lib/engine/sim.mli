@@ -1,0 +1,41 @@
+(** Discrete-event simulation driver.
+
+    A simulation owns a virtual clock and an event queue of thunks.
+    Components schedule callbacks at absolute or relative virtual times;
+    [run] drains the queue in time order.  Events scheduled for the same
+    instant fire in scheduling order. *)
+
+type t
+
+type handle
+(** Cancellation handle for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, in seconds.  Starts at [0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] when the clock reaches [time].
+    @raise Invalid_argument if [time] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule_at t ~time:(now t +. delay) f].
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [~until], stop once the next event would
+    fire strictly after [until] and advance the clock to [until]. *)
+
+val step : t -> bool
+(** Fire the single earliest event.  Returns [false] if the queue was
+    empty. *)
+
+val pending_events : t -> int
+(** Number of scheduled (possibly cancelled) events still queued. *)

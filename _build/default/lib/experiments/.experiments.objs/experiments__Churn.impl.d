@@ -1,0 +1,1 @@
+lib/experiments/churn.ml: Array Engine Format List Netsim Qvisor Sched

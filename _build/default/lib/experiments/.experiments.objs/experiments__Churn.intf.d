@@ -1,0 +1,1 @@
+lib/experiments/churn.mli: Engine Format

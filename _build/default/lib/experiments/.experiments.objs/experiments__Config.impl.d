@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Buffer Fig4 In_channel Printf Result String

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Fig4 Float Fun List Printf String

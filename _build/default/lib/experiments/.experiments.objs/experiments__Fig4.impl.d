@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Engine Float Format List Netsim Printf Qvisor Sched

@@ -1,0 +1,47 @@
+(** Ablation A3: the paper's Fig. 2 timeline under congestion.
+
+    An interactive pFabric tenant (T1) and a deadline EDF tenant (T2) run
+    from the start; at [t_join] a background fair-queuing tenant (T3)
+    starts blasting large flows.  The operator policy is
+    [T1 + T2 >> T3]: the background tenant must never disturb the other
+    two.
+
+    We measure T1's small-flow FCT before and after T3 joins, under
+    QVISOR (rank transformations in front of PIFO ports) and naively
+    (raw ranks into the same PIFO ports).  QVISOR should hold T1's FCT
+    steady across the join; the naive deployment lets T3's
+    low-virtual-time STFQ ranks cut ahead of T1. *)
+
+type result = {
+  scheme : string;
+  before_join_ms : float;  (** T1 small-flow mean FCT before [t_join] *)
+  after_join_ms : float;  (** same, while T3 is active *)
+  degradation : float;  (** [after /. before] *)
+  t3_flows_completed : int;
+  activity : (string * Engine.Timeseries.t) list;
+      (** per-tenant delivered bytes over time — the Fig. 2 timeline *)
+}
+
+type params = {
+  leaves : int;
+  spines : int;
+  hosts_per_leaf : int;
+  t1_load : float;
+  t3_load : float;
+  t_join : float;
+  t_end : float;
+  drain : float;
+  seed : int;
+}
+
+val default : params
+
+val run : params -> qvisor:bool -> result
+
+val compare_schemes : params -> result list
+(** Run both and return [naive; qvisor] results. *)
+
+val print : Format.formatter -> result list -> unit
+
+val print_activity : Format.formatter -> result -> unit
+(** ASCII rendering of each tenant's delivery-rate timeline. *)

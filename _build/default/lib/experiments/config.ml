@@ -1,0 +1,135 @@
+let parse text =
+  let ( let* ) = Result.bind in
+  let parse_line lineno params line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    if line = "" then Ok params
+    else begin
+      match String.index_opt line '=' with
+      | None -> Error (Printf.sprintf "line %d: expected key = value" lineno)
+      | Some eq ->
+        let key = String.trim (String.sub line 0 eq) in
+        let value =
+          String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+        in
+        let int_v () =
+          match int_of_string_opt value with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "line %d: %s wants an integer" lineno key)
+        in
+        let float_v () =
+          match float_of_string_opt value with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "line %d: %s wants a number" lineno key)
+        in
+        (match key with
+        | "leaves" ->
+          let* v = int_v () in
+          Ok { params with Fig4.leaves = v }
+        | "spines" ->
+          let* v = int_v () in
+          Ok { params with Fig4.spines = v }
+        | "hosts_per_leaf" ->
+          let* v = int_v () in
+          Ok { params with Fig4.hosts_per_leaf = v }
+        | "access_rate" ->
+          let* v = float_v () in
+          Ok { params with Fig4.access_rate = v }
+        | "fabric_rate" ->
+          let* v = float_v () in
+          Ok { params with Fig4.fabric_rate = v }
+        | "link_delay" ->
+          let* v = float_v () in
+          Ok { params with Fig4.link_delay = v }
+        | "queue_capacity_pkts" ->
+          let* v = int_v () in
+          Ok { params with Fig4.queue_capacity_pkts = v }
+        | "load" ->
+          let* v = float_v () in
+          Ok { params with Fig4.load = v }
+        | "cbr_flows" ->
+          let* v = int_v () in
+          Ok { params with Fig4.cbr_flows = v }
+        | "cbr_rate" ->
+          let* v = float_v () in
+          Ok { params with Fig4.cbr_rate = v }
+        | "cbr_deadline" ->
+          let* v = float_v () in
+          Ok { params with Fig4.cbr_deadline = v }
+        | "duration" ->
+          let* v = float_v () in
+          Ok { params with Fig4.duration = v }
+        | "warmup" ->
+          let* v = float_v () in
+          Ok { params with Fig4.warmup = v }
+        | "drain" ->
+          let* v = float_v () in
+          Ok { params with Fig4.drain = v }
+        | "pfabric_unit_bytes" ->
+          let* v = int_v () in
+          Ok { params with Fig4.pfabric_unit_bytes = v }
+        | "edf_unit_seconds" ->
+          let* v = float_v () in
+          Ok { params with Fig4.edf_unit_seconds = v }
+        | "window" ->
+          let* v = int_v () in
+          Ok { params with Fig4.window = v }
+        | "rto" ->
+          let* v = float_v () in
+          Ok { params with Fig4.rto = v }
+        | "seed" ->
+          let* v = int_v () in
+          Ok { params with Fig4.seed = v }
+        | "levels" ->
+          let* v = int_v () in
+          Ok { params with Fig4.levels = Some v }
+        | _ -> Error (Printf.sprintf "line %d: unknown key %S" lineno key))
+    end
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno params = function
+    | [] -> Ok params
+    | line :: rest ->
+      let* params = parse_line lineno params line in
+      go (lineno + 1) params rest
+  in
+  go 1 Fig4.default lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+let to_string (p : Fig4.params) =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  add "# fabric";
+  add "leaves = %d" p.Fig4.leaves;
+  add "spines = %d" p.Fig4.spines;
+  add "hosts_per_leaf = %d" p.Fig4.hosts_per_leaf;
+  add "access_rate = %g" p.Fig4.access_rate;
+  add "fabric_rate = %g" p.Fig4.fabric_rate;
+  add "link_delay = %g" p.Fig4.link_delay;
+  add "queue_capacity_pkts = %d" p.Fig4.queue_capacity_pkts;
+  add "# workloads";
+  add "load = %g" p.Fig4.load;
+  add "cbr_flows = %d" p.Fig4.cbr_flows;
+  add "cbr_rate = %g" p.Fig4.cbr_rate;
+  add "cbr_deadline = %g" p.Fig4.cbr_deadline;
+  add "pfabric_unit_bytes = %d" p.Fig4.pfabric_unit_bytes;
+  add "edf_unit_seconds = %g" p.Fig4.edf_unit_seconds;
+  add "# run";
+  add "duration = %g" p.Fig4.duration;
+  add "warmup = %g" p.Fig4.warmup;
+  add "drain = %g" p.Fig4.drain;
+  add "window = %d" p.Fig4.window;
+  add "rto = %g" p.Fig4.rto;
+  add "seed = %d" p.Fig4.seed;
+  (match p.Fig4.levels with
+  | Some l -> add "levels = %d" l
+  | None -> ());
+  Buffer.contents b

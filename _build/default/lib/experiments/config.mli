@@ -1,0 +1,33 @@
+(** Config-file driven experiments, in the spirit of Netbench's
+    [.properties] runs.
+
+    A config is a plain-text file of [key = value] lines ('#' comments).
+    Unknown keys are an error (catching typos beats silently ignoring
+    them).  Keys mirror the {!Fig4.params} fields:
+
+    {v
+      # fabric
+      leaves = 3            spines = 2           hosts_per_leaf = 8
+      access_rate = 1e9     fabric_rate = 4e9    link_delay = 1e-6
+      queue_capacity_pkts = 100
+      # workloads
+      load = 0.5            cbr_flows = 17       cbr_rate = 0.5e9
+      cbr_deadline = 2e-3
+      # run
+      duration = 0.2        warmup = 0.05        drain = 0.6
+      seed = 1              window = 16          rto = 4e-3
+      pfabric_unit_bytes = 1000                  edf_unit_seconds = 2e-5
+      levels = 64           # optional; omit for full resolution
+    v} *)
+
+val parse : string -> (Fig4.params, string) result
+(** Parse config text on top of {!Fig4.default}; errors carry the line
+    number and key. *)
+
+val load : string -> (Fig4.params, string) result
+(** Read and parse a file. *)
+
+val to_string : Fig4.params -> string
+(** Render parameters back as config text ([parse (to_string p)] gives
+    [p] back, modulo the backend/tree fields which have no config
+    syntax). *)

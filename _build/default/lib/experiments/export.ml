@@ -1,0 +1,32 @@
+let fig4_header =
+  "scheme,load,small_mean_ms,small_p99_ms,large_mean_ms,large_p99_ms,\
+   overall_mean_ms,flows_started,flows_completed,drops,cbr_deadline_fraction"
+
+let cell x = if Float.is_nan x then "" else Printf.sprintf "%.6f" x
+
+let quote s = "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let fig4_row (r : Fig4.result) =
+  String.concat ","
+    [
+      quote r.Fig4.scheme;
+      Printf.sprintf "%.2f" r.Fig4.load;
+      cell r.Fig4.small_mean_ms;
+      cell r.Fig4.small_p99_ms;
+      cell r.Fig4.large_mean_ms;
+      cell r.Fig4.large_p99_ms;
+      cell r.Fig4.overall_mean_ms;
+      string_of_int r.Fig4.flows_started;
+      string_of_int r.Fig4.flows_completed;
+      string_of_int r.Fig4.drops;
+      cell r.Fig4.cbr_deadline_fraction;
+    ]
+
+let fig4_to_csv results =
+  String.concat "\n" (fig4_header :: List.map fig4_row results) ^ "\n"
+
+let save_fig4 path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (fig4_to_csv results))

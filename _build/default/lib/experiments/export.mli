@@ -1,0 +1,19 @@
+(** CSV export of experiment results, for plotting with external tools.
+
+    Columns are fixed and documented here so downstream notebooks do not
+    need to parse the human-readable tables:
+
+    {v scheme,load,small_mean_ms,small_p99_ms,large_mean_ms,large_p99_ms,
+       overall_mean_ms,flows_started,flows_completed,drops,
+       cbr_deadline_fraction v} *)
+
+val fig4_header : string
+
+val fig4_row : Fig4.result -> string
+(** One CSV line (no trailing newline).  The scheme name is quoted; [nan]
+    serializes as an empty cell. *)
+
+val fig4_to_csv : Fig4.result list -> string
+
+val save_fig4 : string -> Fig4.result list -> unit
+(** Write header + rows to a file. *)

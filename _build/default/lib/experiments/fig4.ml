@@ -1,0 +1,299 @@
+type scheme =
+  | Fifo_both
+  | Pifo_naive
+  | Pifo_pfabric_only
+  | Qvisor_policy of string
+
+let scheme_name = function
+  | Fifo_both -> "FIFO: pFabric and EDF"
+  | Pifo_naive -> "PIFO: pFabric and EDF"
+  | Pifo_pfabric_only -> "PIFO: pFabric"
+  | Qvisor_policy p -> "QVISOR: " ^ p
+
+let paper_schemes =
+  [
+    Fifo_both;
+    Pifo_naive;
+    Pifo_pfabric_only;
+    Qvisor_policy "edf >> pfabric";
+    Qvisor_policy "pfabric + edf";
+    Qvisor_policy "pfabric >> edf";
+  ]
+
+type params = {
+  leaves : int;
+  spines : int;
+  hosts_per_leaf : int;
+  access_rate : float;
+  fabric_rate : float;
+  link_delay : float;
+  queue_capacity_pkts : int;
+  load : float;
+  cbr_flows : int;
+  cbr_rate : float;
+  cbr_deadline : float;
+  duration : float;
+  warmup : float;
+  drain : float;
+  pfabric_unit_bytes : int;
+  edf_unit_seconds : float;
+  window : int;
+  rto : float;
+  seed : int;
+  levels : int option;
+  backend : Qvisor.Deploy.backend option;
+  tree_backend : bool;
+}
+
+let quick =
+  {
+    leaves = 2;
+    spines = 2;
+    hosts_per_leaf = 4;
+    access_rate = 1e9;
+    fabric_rate = 4e9;
+    link_delay = 1e-6;
+    queue_capacity_pkts = 100;
+    load = 0.5;
+    cbr_flows = 6;
+    cbr_rate = 0.5e9;
+    cbr_deadline = 2e-3;
+    duration = 0.08;
+    warmup = 0.02;
+    drain = 0.4;
+    pfabric_unit_bytes = 1000;
+    edf_unit_seconds = 2e-5;
+    window = 16;
+    rto = 4e-3;
+    seed = 1;
+    levels = None;
+    backend = None;
+    tree_backend = false;
+  }
+
+let default =
+  {
+    quick with
+    leaves = 3;
+    spines = 2;
+    hosts_per_leaf = 8;
+    cbr_flows = 17;
+    duration = 0.2;
+    warmup = 0.05;
+    drain = 0.6;
+  }
+
+let paper_scale =
+  {
+    quick with
+    leaves = 9;
+    spines = 4;
+    hosts_per_leaf = 16;
+    cbr_flows = 100;
+    duration = 1.0;
+    warmup = 0.2;
+    drain = 1.0;
+  }
+
+type result = {
+  scheme : string;
+  load : float;
+  small_mean_ms : float;
+  small_p99_ms : float;
+  large_mean_ms : float;
+  large_p99_ms : float;
+  overall_mean_ms : float;
+  flows_started : int;
+  flows_completed : int;
+  drops : int;
+  cbr_deadline_fraction : float;
+}
+
+let pfabric_tenant_id = 0
+
+let edf_tenant_id = 1
+
+(* QVISOR tenant declarations for this workload: pFabric ranks span the
+   remaining-size range up to the flow-size cap; EDF ranks span the
+   deadline budget in rank units. *)
+let qvisor_tenants params =
+  let pfabric_hi = 30_000_000 / params.pfabric_unit_bytes in
+  (* CBR budgets are spread up to 1.5x the base deadline. *)
+  let edf_hi =
+    int_of_float (1.5 *. params.cbr_deadline /. params.edf_unit_seconds)
+  in
+  [
+    Qvisor.Tenant.make ~algorithm:"pfabric" ~rank_lo:0 ~rank_hi:pfabric_hi
+      ~id:pfabric_tenant_id ~name:"pfabric" ();
+    Qvisor.Tenant.make ~algorithm:"edf" ~rank_lo:0 ~rank_hi:edf_hi
+      ~id:edf_tenant_id ~name:"edf" ();
+  ]
+
+let run params scheme =
+  let num_hosts = params.leaves * params.hosts_per_leaf in
+  let topo =
+    Netsim.Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
+      ~hosts_per_leaf:params.hosts_per_leaf ~access_rate:params.access_rate
+      ~fabric_rate:params.fabric_rate ~link_delay:params.link_delay
+  in
+  let routing = Netsim.Routing.compute topo in
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:params.seed in
+  let transport = Netsim.Transport.create ~sim () in
+  let preprocess, make_qdisc =
+    let fifo _ = Sched.Fifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
+    let pifo _ = Sched.Pifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
+    match scheme with
+    | Fifo_both -> (None, fifo)
+    | Pifo_naive | Pifo_pfabric_only -> (None, pifo)
+    | Qvisor_policy policy_str when params.tree_backend ->
+      (* §5 alternative: compile the policy into a PIFO tree per port; raw
+         ranks go straight in, no pre-processor. *)
+      let make_tree _ =
+        match
+          Qvisor.Deploy.pifo_tree_of_policy ~tenants:(qvisor_tenants params)
+            ~policy:(Qvisor.Policy.parse_exn policy_str)
+            ~capacity_pkts:params.queue_capacity_pkts ()
+        with
+        | Ok q -> q
+        | Error e -> invalid_arg ("Fig4: tree backend: " ^ e)
+      in
+      (None, make_tree)
+    | Qvisor_policy policy_str ->
+      let config =
+        { Qvisor.Synthesizer.default_config with levels = params.levels }
+      in
+      let plan =
+        Qvisor.Synthesizer.synthesize_exn ~config
+          ~tenants:(qvisor_tenants params)
+          ~policy:(Qvisor.Policy.parse_exn policy_str)
+          ()
+      in
+      let pre = Qvisor.Preprocessor.of_plan plan in
+      let qdisc =
+        match params.backend with
+        | None -> pifo
+        | Some backend -> fun _ -> Qvisor.Deploy.instantiate ~plan backend
+      in
+      (Some (Qvisor.Preprocessor.process pre), qdisc)
+  in
+  let net =
+    Netsim.Net.create ~sim ~topo ~routing ~make_qdisc ?preprocess
+      ~deliver:(Netsim.Transport.deliver transport)
+      ()
+  in
+  Netsim.Transport.attach transport net;
+  (* Tenant 0: pFabric data-mining flows (always present). *)
+  let metrics = Netsim.Metrics.create () in
+  let started_measured = ref 0 in
+  let on_complete (r : Netsim.Transport.flow_result) =
+    if r.Netsim.Transport.started_at >= params.warmup then
+      Netsim.Metrics.record metrics r
+  in
+  let pfabric_ranker = Sched.Ranker.pfabric ~unit_bytes:params.pfabric_unit_bytes () in
+  let arrivals =
+    Netsim.Workload.poisson_open_loop ~sim ~rng:(Engine.Rng.split rng)
+      ~transport ~tenant:pfabric_tenant_id ~ranker:pfabric_ranker ~num_hosts
+      ~load:params.load ~access_rate:params.access_rate
+      ~dist:(Netsim.Workload.data_mining ()) ~window:params.window
+      ~rto:params.rto ~until:params.duration ~on_complete ()
+  in
+  (* Tenant 1: EDF CBR flows (absent in the pFabric-only ideal). *)
+  let cbr_stats =
+    match scheme with
+    | Pifo_pfabric_only -> []
+    | Fifo_both | Pifo_naive | Qvisor_policy _ ->
+      let edf_ranker =
+        Sched.Ranker.edf ~unit_seconds:params.edf_unit_seconds
+          ~horizon:(1.5 *. params.cbr_deadline)
+          ()
+      in
+      Netsim.Workload.cbr_tenant ~sim ~rng:(Engine.Rng.split rng) ~transport
+        ~tenant:edf_tenant_id ~ranker:edf_ranker ~num_hosts
+        ~flows:params.cbr_flows ~rate:params.cbr_rate
+        ~deadline_budget:params.cbr_deadline
+        ~until:(params.duration +. params.drain)
+        ()
+  in
+  Engine.Sim.run ~until:(params.duration +. params.drain) sim;
+  ignore !started_measured;
+  let cbr_deadline_fraction =
+    match cbr_stats with
+    | [] -> nan
+    | stats ->
+      let sent =
+        List.fold_left (fun a s -> a + s.Netsim.Transport.sent) 0 stats
+      in
+      let met =
+        List.fold_left (fun a s -> a + s.Netsim.Transport.deadline_met) 0 stats
+      in
+      if sent = 0 then nan else float_of_int met /. float_of_int sent
+  in
+  {
+    scheme = scheme_name scheme;
+    load = params.load;
+    small_mean_ms = Netsim.Metrics.mean_fct_ms metrics Netsim.Metrics.Small;
+    small_p99_ms = Netsim.Metrics.p99_fct_ms metrics Netsim.Metrics.Small;
+    large_mean_ms = Netsim.Metrics.mean_fct_ms metrics Netsim.Metrics.Large;
+    large_p99_ms = Netsim.Metrics.p99_fct_ms metrics Netsim.Metrics.Large;
+    overall_mean_ms = 1e3 *. Engine.Stats.mean (Netsim.Metrics.overall metrics);
+    flows_started = arrivals.Netsim.Workload.flows_started;
+    flows_completed = Netsim.Metrics.completed metrics;
+    drops = Netsim.Net.total_drops net;
+    cbr_deadline_fraction;
+  }
+
+let sweep params ~loads ~schemes =
+  List.concat_map
+    (fun load -> List.map (fun s -> run { params with load } s) schemes)
+    loads
+
+let paper_loads = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ]
+
+let print_panel ppf ~title ~pick results =
+  let loads = List.sort_uniq compare (List.map (fun r -> r.load) results) in
+  let schemes =
+    List.fold_left
+      (fun acc r -> if List.mem r.scheme acc then acc else acc @ [ r.scheme ])
+      [] results
+  in
+  Format.fprintf ppf "@[<v>%s@," title;
+  Format.fprintf ppf "%-6s" "load";
+  List.iter (fun s -> Format.fprintf ppf " | %28s" s) schemes;
+  Format.pp_print_cut ppf ();
+  List.iter
+    (fun load ->
+      Format.fprintf ppf "%-6.2f" load;
+      List.iter
+        (fun s ->
+          match
+            List.find_opt (fun r -> r.load = load && r.scheme = s) results
+          with
+          | Some r -> Format.fprintf ppf " | %28.3f" (pick r)
+          | None -> Format.fprintf ppf " | %28s" "-")
+        schemes;
+      Format.pp_print_cut ppf ())
+    loads;
+  Format.fprintf ppf "@]"
+
+let print_fig4 ppf results =
+  print_panel ppf
+    ~title:"Fig. 4a — pFabric mean FCT (ms), small flows (0, 100 KB)"
+    ~pick:(fun r -> r.small_mean_ms)
+    results;
+  Format.pp_print_newline ppf ();
+  print_panel ppf
+    ~title:"Fig. 4b — pFabric mean FCT (ms), large flows [1 MB, inf)"
+    ~pick:(fun r -> r.large_mean_ms)
+    results;
+  Format.pp_print_newline ppf ();
+  Format.fprintf ppf "@[<v>appendix — completions / drops / CBR deadline hit-rate@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "load %.2f %-30s completed %5d/%5d drops %7d cbr-ok %s@," r.load
+        r.scheme r.flows_completed r.flows_started r.drops
+        (if Float.is_nan r.cbr_deadline_fraction then "-"
+         else Printf.sprintf "%.3f" r.cbr_deadline_fraction))
+    results;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,95 @@
+(** The paper's evaluation (§4, Fig. 4), as a reusable harness.
+
+    Two tenants share a leaf-spine fabric: tenant 0 runs a data-mining
+    workload scheduled with pFabric; tenant 1 runs CBR flows scheduled
+    with EDF.  The harness measures the pFabric tenant's mean FCT for
+    small (< 100 KB, Fig. 4a) and large (>= 1 MB, Fig. 4b) flows under
+    six scheduling configurations and a range of loads. *)
+
+type scheme =
+  | Fifo_both  (** one FIFO queue per port, both tenants *)
+  | Pifo_naive  (** PIFO per port, raw (clashing) ranks, both tenants *)
+  | Pifo_pfabric_only  (** PIFO per port, pFabric traffic alone (ideal) *)
+  | Qvisor_policy of string
+      (** PIFO per port behind QVISOR's pre-processor, with the given
+          operator policy over tenants ["pfabric"] and ["edf"] *)
+
+val scheme_name : scheme -> string
+
+val paper_schemes : scheme list
+(** The six configurations of Fig. 4, in the paper's legend order:
+    FIFO both, PIFO naive, PIFO pFabric-only, QVISOR [edf >> pfabric],
+    QVISOR [pfabric + edf], QVISOR [pfabric >> edf]. *)
+
+type params = {
+  leaves : int;
+  spines : int;
+  hosts_per_leaf : int;
+  access_rate : float;
+  fabric_rate : float;
+  link_delay : float;
+  queue_capacity_pkts : int;
+  load : float;  (** pFabric tenant load on aggregate access capacity *)
+  cbr_flows : int;
+  cbr_rate : float;
+  cbr_deadline : float;
+  duration : float;  (** flow-arrival window, seconds *)
+  warmup : float;  (** flows starting earlier are not measured *)
+  drain : float;  (** extra simulated time for in-flight flows *)
+  pfabric_unit_bytes : int;  (** pFabric rank granularity *)
+  edf_unit_seconds : float;  (** EDF rank granularity *)
+  window : int;
+  rto : float;
+  seed : int;
+  levels : int option;  (** QVISOR quantization levels (ablation A1) *)
+  backend : Qvisor.Deploy.backend option;
+      (** override the port scheduler for QVISOR schemes (ablation A2);
+          [None] = ideal PIFO *)
+  tree_backend : bool;
+      (** deploy QVISOR schemes as a policy-compiled PIFO tree instead of
+          pre-processor + scheduler (mutually exclusive with [backend]) *)
+}
+
+val quick : params
+(** 8-host fabric, 80 ms of arrivals — CI-sized, seconds to run. *)
+
+val default : params
+(** 24-host fabric at the paper's 1:1 oversubscription, 200 ms of
+    arrivals — minutes for a full sweep. *)
+
+val paper_scale : params
+(** The paper's exact fabric: 9 leaves x 16 hosts, 4 spines, 100 CBR
+    flows at 0.5 Gb/s, 1/4 Gb/s links. *)
+
+type result = {
+  scheme : string;
+  load : float;
+  small_mean_ms : float;
+  small_p99_ms : float;
+  large_mean_ms : float;
+  large_p99_ms : float;
+  overall_mean_ms : float;
+  flows_started : int;
+  flows_completed : int;
+  drops : int;
+  cbr_deadline_fraction : float;
+      (** fraction of CBR packets delivered within deadline ([nan] when
+          the scheme carries no CBR tenant) *)
+}
+
+val run : params -> scheme -> result
+(** Simulate one configuration. *)
+
+val sweep : params -> loads:float list -> schemes:scheme list -> result list
+
+val paper_loads : float list
+(** 0.2 .. 0.8, the x-axis of Fig. 4. *)
+
+val print_panel :
+  Format.formatter -> title:string -> pick:(result -> float) -> result list -> unit
+(** Render one Fig. 4 panel: rows = loads, columns = schemes, cells from
+    [pick]. *)
+
+val print_fig4 : Format.formatter -> result list -> unit
+(** Both panels (small-flow and large-flow mean FCTs) plus a
+    completion/drop appendix. *)

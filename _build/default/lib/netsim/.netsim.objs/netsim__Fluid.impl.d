@@ -1,0 +1,1 @@
+lib/netsim/fluid.ml: Float List Sched

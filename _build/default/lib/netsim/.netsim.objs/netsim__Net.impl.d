@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Engine Float List Routing Sched Topology

@@ -1,0 +1,1 @@
+lib/netsim/routing.ml: Array Int64 List Queue Topology

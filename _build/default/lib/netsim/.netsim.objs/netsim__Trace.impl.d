@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Buffer Engine Fun In_channel List Printf String Transport Workload

@@ -1,0 +1,1 @@
+lib/netsim/transport.ml: Engine Hashtbl Int List Net Sched Set

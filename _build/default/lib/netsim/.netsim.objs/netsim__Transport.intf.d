@@ -1,0 +1,1 @@
+lib/netsim/transport.mli: Engine Net Sched

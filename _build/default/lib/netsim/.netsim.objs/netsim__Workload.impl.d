@@ -1,0 +1,1 @@
+lib/netsim/workload.ml: Array Engine Fun List Transport

@@ -1,0 +1,1 @@
+lib/netsim/workload.mli: Engine Sched Transport

@@ -1,0 +1,39 @@
+let ack_bytes = Sched.Packet.header_bytes
+
+let path_rtt ~rates ~link_delay ~mtu_payload =
+  let data_wire = float_of_int (mtu_payload + Sched.Packet.header_bytes) in
+  let ack_wire = float_of_int ack_bytes in
+  List.fold_left
+    (fun acc rate ->
+      acc
+      +. (8. *. data_wire /. rate)
+      +. (8. *. ack_wire /. rate)
+      +. (2. *. link_delay))
+    0. rates
+
+let estimate_fct ~size ~mtu_payload ~window ~rates ~link_delay ~load =
+  if size <= 0 then invalid_arg "Fluid.estimate_fct: size <= 0";
+  if mtu_payload <= 0 then invalid_arg "Fluid.estimate_fct: mtu <= 0";
+  if window <= 0 then invalid_arg "Fluid.estimate_fct: window <= 0";
+  if rates = [] then invalid_arg "Fluid.estimate_fct: empty path";
+  List.iter
+    (fun r -> if r <= 0. then invalid_arg "Fluid.estimate_fct: rate <= 0")
+    rates;
+  if load < 0. || load >= 1. then
+    invalid_arg "Fluid.estimate_fct: load outside [0, 1)";
+  let rtt = path_rtt ~rates ~link_delay ~mtu_payload in
+  let bottleneck = List.fold_left Float.min infinity rates in
+  let residual = bottleneck *. (1. -. load) in
+  (* Goodput excludes header overhead. *)
+  let goodput_fraction =
+    float_of_int mtu_payload /. float_of_int (mtu_payload + Sched.Packet.header_bytes)
+  in
+  let window_limited_rate =
+    float_of_int (window * mtu_payload) *. 8. /. rtt
+  in
+  let achievable = Float.min window_limited_rate (residual *. goodput_fraction) in
+  rtt +. (8. *. float_of_int size /. achievable)
+
+let leaf_spine_path_rates ~intra_leaf ~access_rate ~fabric_rate =
+  if intra_leaf then [ access_rate; access_rate ]
+  else [ access_rate; fabric_rate; fabric_rate; access_rate ]

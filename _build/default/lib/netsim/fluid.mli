@@ -1,0 +1,37 @@
+(** Analytic flow-completion-time model, for cross-validating the
+    packet-level simulator.
+
+    A windowed flow over a store-and-forward path is either
+    {e window-limited} (it can keep at most [window] packets in flight, so
+    it moves [window * mtu] bytes per round trip) or {e bandwidth-limited}
+    (the bottleneck link's residual capacity caps it).  Under Poisson
+    background load [rho] on the bottleneck, processor-sharing theory
+    scales the service time by [1 / (1 - rho)].
+
+    The model ignores losses, retransmissions, and transient queueing, so
+    it is a {e lower-bound-flavoured} estimate: simulator FCTs should land
+    within a small constant factor above it at low-to-moderate load —
+    which is exactly what the validation tests assert. *)
+
+val path_rtt :
+  rates:float list -> link_delay:float -> mtu_payload:int -> float
+(** Unloaded round-trip time of a full data packet out along the links of
+    [rates] (one way) and its 58-byte ack back: per hop, transmission plus
+    propagation, store-and-forward. *)
+
+val estimate_fct :
+  size:int ->
+  mtu_payload:int ->
+  window:int ->
+  rates:float list ->
+  link_delay:float ->
+  load:float ->
+  float
+(** Expected FCT (seconds) of a [size]-byte flow over the path.
+    @raise Invalid_argument on non-positive sizes/rates or [load]
+    outside [\[0, 1)]. *)
+
+val leaf_spine_path_rates :
+  intra_leaf:bool -> access_rate:float -> fabric_rate:float -> float list
+(** The one-way link-rate sequence of a leaf-spine path: host→leaf→host
+    for [intra_leaf], host→leaf→spine→leaf→host otherwise. *)

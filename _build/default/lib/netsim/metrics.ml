@@ -1,0 +1,51 @@
+type bucket = Small | Medium | Large
+
+let small_cutoff = 100_000 (* bytes: (0, 100 KB) *)
+
+let large_cutoff = 1_000_000 (* bytes: [1 MB, inf) *)
+
+let bucket_of_size size =
+  if size < small_cutoff then Small
+  else if size >= large_cutoff then Large
+  else Medium
+
+type t = {
+  small : Engine.Stats.t;
+  medium : Engine.Stats.t;
+  large : Engine.Stats.t;
+  all : Engine.Stats.t;
+  mutable completed : int;
+}
+
+let create () =
+  {
+    small = Engine.Stats.create ();
+    medium = Engine.Stats.create ();
+    large = Engine.Stats.create ();
+    all = Engine.Stats.create ();
+    completed = 0;
+  }
+
+let fct_stats t = function
+  | Small -> t.small
+  | Medium -> t.medium
+  | Large -> t.large
+
+let record t (r : Transport.flow_result) =
+  let fct = Transport.fct r in
+  t.completed <- t.completed + 1;
+  Engine.Stats.add t.all fct;
+  Engine.Stats.add (fct_stats t (bucket_of_size r.Transport.size)) fct
+
+let overall t = t.all
+
+let completed t = t.completed
+
+let mean_fct_ms t bucket = 1e3 *. Engine.Stats.mean (fct_stats t bucket)
+
+let p99_fct_ms t bucket = 1e3 *. Engine.Stats.quantile (fct_stats t bucket) 0.99
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>flows=%d@,small:  %a@,medium: %a@,large:  %a@]" t.completed
+    Engine.Stats.pp t.small Engine.Stats.pp t.medium Engine.Stats.pp t.large

@@ -1,0 +1,178 @@
+type shaper = { shaper_rate : float; shaper_burst : float }
+
+type bucket = {
+  config : shaper;
+  mutable tokens : float;
+  mutable refilled_at : float;
+  mutable wakeup_pending : bool;
+}
+
+type port = {
+  link : Topology.link;
+  qdisc : Sched.Qdisc.t;
+  mutable busy : bool;
+  mutable tx_bytes : int;
+  bucket : bucket option;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  topo : Topology.t;
+  routing : Routing.t;
+  ports : port array; (* indexed by link id *)
+  preprocess : Sched.Packet.t -> unit;
+  on_dequeue : Sched.Packet.t -> unit;
+  on_drop : Sched.Packet.t -> unit;
+  deliver : Sched.Packet.t -> unit;
+}
+
+let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
+    ?(preprocess = fun _ -> ()) ?(on_dequeue = fun _ -> ())
+    ?(on_drop = fun _ -> ()) ~deliver () =
+  let ports =
+    Array.init (Topology.num_links topo) (fun id ->
+        let link = Topology.link topo id in
+        let bucket =
+          match shaper_of link with
+          | None -> None
+          | Some config ->
+            if config.shaper_rate <= 0. then
+              invalid_arg "Net.create: shaper rate <= 0";
+            if config.shaper_burst < 1518. then
+              invalid_arg "Net.create: shaper burst below one packet";
+            Some
+              {
+                config;
+                tokens = config.shaper_burst;
+                refilled_at = 0.;
+                wakeup_pending = false;
+              }
+        in
+        { link; qdisc = make_qdisc link; busy = false; tx_bytes = 0; bucket })
+  in
+  { sim; topo; routing; ports; preprocess; on_dequeue; on_drop; deliver }
+
+let refill t bucket =
+  let now = Engine.Sim.now t.sim in
+  let elapsed = now -. bucket.refilled_at in
+  bucket.tokens <-
+    Float.min bucket.config.shaper_burst
+      (bucket.tokens +. (elapsed *. bucket.config.shaper_rate));
+  bucket.refilled_at <- now
+
+(* Start transmitting the next queued packet if the link is idle and, on
+   shaped ports, the bucket covers the head packet (otherwise sleep until
+   it will). *)
+let rec pump t port =
+  if not port.busy then begin
+    let admitted =
+      match port.bucket with
+      | None -> true
+      | Some bucket -> (
+        match port.qdisc.Sched.Qdisc.peek () with
+        | None -> true (* nothing queued; dequeue below returns None *)
+        | Some head ->
+          refill t bucket;
+          let need = float_of_int head.Sched.Packet.size in
+          (* Half-a-byte tolerance: floating-point refills can approach
+             [need] asymptotically, which without slack would re-arm
+             ever-shorter wakeups forever. *)
+          if bucket.tokens +. 0.5 >= need then true
+          else begin
+            if not bucket.wakeup_pending then begin
+              bucket.wakeup_pending <- true;
+              let wait =
+                ((need -. bucket.tokens) /. bucket.config.shaper_rate) +. 1e-9
+              in
+              ignore
+                (Engine.Sim.schedule_after t.sim ~delay:wait (fun () ->
+                     bucket.wakeup_pending <- false;
+                     pump t port))
+            end;
+            false
+          end)
+    in
+    match if admitted then port.qdisc.Sched.Qdisc.dequeue () else None with
+    | None -> ()
+    | Some p ->
+      (match port.bucket with
+      | Some bucket ->
+        bucket.tokens <-
+          Float.max 0. (bucket.tokens -. float_of_int p.Sched.Packet.size)
+      | None -> ());
+      port.busy <- true;
+      port.tx_bytes <- port.tx_bytes + p.Sched.Packet.size;
+      t.on_dequeue p;
+      let tx_time = 8. *. float_of_int p.Sched.Packet.size /. port.link.Topology.rate in
+      let arrival = tx_time +. port.link.Topology.delay in
+      ignore
+        (Engine.Sim.schedule_after t.sim ~delay:tx_time (fun () ->
+             port.busy <- false;
+             pump t port));
+      ignore
+        (Engine.Sim.schedule_after t.sim ~delay:arrival (fun () ->
+             receive t port.link.Topology.dst p))
+  end
+
+and enqueue t port p =
+  t.preprocess p;
+  p.Sched.Packet.enqueued_at <- Engine.Sim.now t.sim;
+  let dropped = port.qdisc.Sched.Qdisc.enqueue p in
+  List.iter t.on_drop dropped;
+  pump t port
+
+and forward t node p =
+  let link =
+    Routing.next_link t.routing ~node ~dst:p.Sched.Packet.dst
+      ~flow:p.Sched.Packet.flow
+  in
+  enqueue t t.ports.(link.Topology.id) p
+
+and receive t node p =
+  if node = p.Sched.Packet.dst then t.deliver p
+  else begin
+    match Topology.kind t.topo node with
+    | Topology.Switch -> forward t node p
+    | Topology.Host ->
+      (* A host is never a transit node in sane topologies. *)
+      invalid_arg "Net.receive: packet transited a host"
+  end
+
+let inject t p =
+  let src = p.Sched.Packet.src in
+  (match Topology.kind t.topo src with
+  | Topology.Host -> ()
+  | Topology.Switch -> invalid_arg "Net.inject: src is not a host");
+  forward t src p
+
+let total_drops t =
+  Array.fold_left (fun acc port -> acc + port.qdisc.Sched.Qdisc.drops ()) 0 t.ports
+
+let port_qdisc t ~link_id = t.ports.(link_id).qdisc
+
+let queued_packets t =
+  Array.fold_left (fun acc port -> acc + port.qdisc.Sched.Qdisc.length ()) 0 t.ports
+
+let port_tx_bytes t ~link_id = t.ports.(link_id).tx_bytes
+
+let link_utilization t ~link_id ~now =
+  if now <= 0. then 0.
+  else begin
+    let port = t.ports.(link_id) in
+    8. *. float_of_int port.tx_bytes /. (port.link.Topology.rate *. now)
+  end
+
+let busiest_links t ~now ~top =
+  let all =
+    Array.to_list
+      (Array.mapi
+         (fun link_id _ -> (link_id, link_utilization t ~link_id ~now))
+         t.ports)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) all in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take top sorted

@@ -1,0 +1,69 @@
+(** The packet-switched fabric: output-queued ports, store-and-forward
+    links, and ECMP forwarding.
+
+    Every unidirectional link has an output port at its source holding a
+    queue discipline.  Transmitting a packet occupies the link for
+    [size * 8 / rate] seconds; the packet then arrives at the far end after
+    the propagation delay and is either forwarded (switch) or delivered
+    (host).
+
+    The [preprocess] hook runs on every packet immediately before it is
+    offered to a port's queue — this is where QVISOR's pre-processor
+    rewrites ranks.  The [on_dequeue] hook runs as a packet starts
+    transmission (used by STFQ-style rankers to advance their virtual
+    clock). *)
+
+type t
+
+type shaper = {
+  shaper_rate : float;  (** token refill rate, bytes/s *)
+  shaper_burst : float;  (** bucket depth, bytes *)
+}
+(** Token-bucket egress shaping: a port holding a shaper transmits a
+    packet only when the bucket holds its size in tokens, making the port
+    non-work-conserving (it can idle with a backlog).  This is the
+    mechanism behind rate-limited tenants and the paper's
+    "non-work-conserving scheduling algorithms" direction. *)
+
+val create :
+  sim:Engine.Sim.t ->
+  topo:Topology.t ->
+  routing:Routing.t ->
+  make_qdisc:(Topology.link -> Sched.Qdisc.t) ->
+  ?shaper_of:(Topology.link -> shaper option) ->
+  ?preprocess:(Sched.Packet.t -> unit) ->
+  ?on_dequeue:(Sched.Packet.t -> unit) ->
+  ?on_drop:(Sched.Packet.t -> unit) ->
+  deliver:(Sched.Packet.t -> unit) ->
+  unit ->
+  t
+(** [deliver] fires when a packet reaches its destination host.
+    [shaper_of] (default: none anywhere) attaches token-bucket shapers to
+    selected ports.
+    @raise Invalid_argument on a shaper with non-positive rate or a burst
+    smaller than one full packet (1518 bytes). *)
+
+val inject : t -> Sched.Packet.t -> unit
+(** A host hands a packet to its NIC: the packet is routed onto the host's
+    uplink queue.  The packet's [src] must be a host. *)
+
+val total_drops : t -> int
+(** Packets dropped across all ports so far. *)
+
+val port_qdisc : t -> link_id:int -> Sched.Qdisc.t
+(** The queue discipline serving a given link's output port (for tests
+    and instrumentation). *)
+
+val queued_packets : t -> int
+(** Packets currently sitting in any port queue. *)
+
+val port_tx_bytes : t -> link_id:int -> int
+(** Bytes transmitted on a link so far. *)
+
+val link_utilization : t -> link_id:int -> now:float -> float
+(** Average utilization of a link over [\[0, now\]]:
+    [bytes * 8 / (rate * now)].  Returns [0.] at time zero. *)
+
+val busiest_links : t -> now:float -> top:int -> (int * float) list
+(** The [top] most-utilized links as [(link_id, utilization)], most
+    utilized first. *)

@@ -1,0 +1,25 @@
+(** Shortest-path routing with ECMP.
+
+    Routes are precomputed with one BFS per destination host.  At each node
+    every outgoing link on {e some} shortest path to the destination is an
+    equal-cost candidate; the forwarding decision hashes the flow id so a
+    flow sticks to one path (per-flow ECMP, as in Netbench and real
+    fabrics). *)
+
+type t
+
+val compute : Topology.t -> t
+(** Precompute next-hop candidate sets for every (node, destination-host)
+    pair. *)
+
+val next_link : t -> node:int -> dst:int -> flow:int -> Topology.link
+(** The link on which [node] forwards a packet of [flow] towards host
+    [dst].
+    @raise Invalid_argument if [dst] is unreachable from [node] or equal
+    to [node]. *)
+
+val candidates : t -> node:int -> dst:int -> Topology.link list
+(** All equal-cost next-hop links (for tests). *)
+
+val path : t -> src:int -> dst:int -> flow:int -> int list
+(** Node sequence a flow's packets traverse, [src] and [dst] included. *)

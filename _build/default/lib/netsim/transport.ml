@@ -1,0 +1,295 @@
+module IntSet = Set.Make (Int)
+
+type flow_result = {
+  flow_id : int;
+  tenant : int;
+  size : int;
+  started_at : float;
+  completed_at : float;
+}
+
+let fct r = r.completed_at -. r.started_at
+
+type cbr_stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable deadline_met : int;
+  delay : Engine.Stats.t;
+}
+
+type wflow = {
+  id : int;
+  tenant : int;
+  src : int;
+  dst : int;
+  size : int;
+  ranker : Sched.Ranker.t;
+  window : int;
+  rto : float;
+  mtu : int;
+  deadline : float;
+  started_at : float;
+  on_complete : flow_result -> unit;
+  mutable next_offset : int;
+  mutable acked : IntSet.t;
+  mutable acked_bytes : int;
+  outstanding : (int, float) Hashtbl.t; (* seq -> last send time *)
+  mutable retransmit : IntSet.t;
+  mutable rto_handle : Engine.Sim.handle option;
+  (* Receiver state. *)
+  mutable received : IntSet.t;
+  mutable received_bytes : int;
+  mutable completed : bool;
+}
+
+type cbr = { stats : cbr_stats }
+
+type flow = Windowed of wflow | Cbr of cbr
+
+type t = {
+  sim : Engine.Sim.t;
+  mutable net : Net.t option;
+  flows : (int, flow) Hashtbl.t;
+  mutable next_flow_id : int;
+  mutable active : int;
+}
+
+let create ~sim () =
+  { sim; net = None; flows = Hashtbl.create 256; next_flow_id = 0; active = 0 }
+
+let attach t net =
+  match t.net with
+  | Some _ -> invalid_arg "Transport.attach: already attached"
+  | None -> t.net <- Some net
+
+let net t =
+  match t.net with
+  | Some n -> n
+  | None -> invalid_arg "Transport: not attached to a fabric"
+
+let fresh_flow_id t =
+  let id = t.next_flow_id in
+  t.next_flow_id <- id + 1;
+  id
+
+let active_flows t = t.active
+
+(* ------------------------------------------------------------------ *)
+(* Windowed transport                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let payload_at f seq = min f.mtu (f.size - seq)
+
+let send_data t f seq =
+  let now = Engine.Sim.now t.sim in
+  let payload = payload_at f seq in
+  let p =
+    Sched.Packet.make ~kind:Sched.Packet.Data ~tenant:f.tenant ~src:f.src
+      ~dst:f.dst ~seq ~payload
+      ~remaining:(f.size - f.acked_bytes)
+      ~deadline:f.deadline ~created_at:now ~flow:f.id
+      ~size:(payload + Sched.Packet.header_bytes)
+      ()
+  in
+  ignore (Sched.Ranker.tag f.ranker ~now p);
+  Hashtbl.replace f.outstanding seq now;
+  Net.inject (net t) p
+
+let rec arm_rto t f =
+  match f.rto_handle with
+  | Some _ -> ()
+  | None ->
+    if Hashtbl.length f.outstanding > 0 then
+      f.rto_handle <-
+        Some (Engine.Sim.schedule_after t.sim ~delay:f.rto (fun () -> on_rto t f))
+
+and on_rto t f =
+  f.rto_handle <- None;
+  let now = Engine.Sim.now t.sim in
+  let expired =
+    Hashtbl.fold
+      (fun seq sent acc -> if now -. sent >= f.rto -. 1e-12 then seq :: acc else acc)
+      f.outstanding []
+  in
+  List.iter
+    (fun seq ->
+      Hashtbl.remove f.outstanding seq;
+      f.retransmit <- IntSet.add seq f.retransmit)
+    expired;
+  fill t f;
+  arm_rto t f
+
+and fill t f =
+  if Hashtbl.length f.outstanding < f.window then begin
+    let seq =
+      match IntSet.min_elt_opt f.retransmit with
+      | Some seq ->
+        f.retransmit <- IntSet.remove seq f.retransmit;
+        Some seq
+      | None ->
+        if f.next_offset < f.size then begin
+          let seq = f.next_offset in
+          f.next_offset <- seq + payload_at f seq;
+          Some seq
+        end
+        else None
+    in
+    match seq with
+    | None -> ()
+    | Some seq ->
+      send_data t f seq;
+      fill t f
+  end;
+  arm_rto t f
+
+let start_flow t ~tenant ~ranker ~src ~dst ~size ?(window = 12) ?(rto = 1e-3)
+    ?(mtu_payload = 1460) ?(deadline = infinity) ~on_complete () =
+  if size <= 0 then invalid_arg "Transport.start_flow: size <= 0";
+  if window <= 0 then invalid_arg "Transport.start_flow: window <= 0";
+  if rto <= 0. then invalid_arg "Transport.start_flow: rto <= 0";
+  if mtu_payload <= 0 then invalid_arg "Transport.start_flow: mtu <= 0";
+  if src = dst then invalid_arg "Transport.start_flow: src = dst";
+  let id = fresh_flow_id t in
+  let f =
+    {
+      id;
+      tenant;
+      src;
+      dst;
+      size;
+      ranker;
+      window;
+      rto;
+      mtu = mtu_payload;
+      deadline;
+      started_at = Engine.Sim.now t.sim;
+      on_complete;
+      next_offset = 0;
+      acked = IntSet.empty;
+      acked_bytes = 0;
+      outstanding = Hashtbl.create 16;
+      retransmit = IntSet.empty;
+      rto_handle = None;
+      received = IntSet.empty;
+      received_bytes = 0;
+      completed = false;
+    }
+  in
+  Hashtbl.replace t.flows id (Windowed f);
+  t.active <- t.active + 1;
+  fill t f;
+  id
+
+let send_ack t f (data : Sched.Packet.t) =
+  let now = Engine.Sim.now t.sim in
+  let ack =
+    Sched.Packet.make ~kind:Sched.Packet.Ack ~tenant:f.tenant ~src:f.dst
+      ~dst:f.src ~seq:data.Sched.Packet.seq ~payload:0 ~remaining:0
+      ~deadline:f.deadline ~created_at:now ~flow:f.id
+      ~size:Sched.Packet.header_bytes ()
+  in
+  ignore (Sched.Ranker.tag f.ranker ~now ack);
+  Net.inject (net t) ack
+
+let receive_data t f (p : Sched.Packet.t) =
+  let seq = p.Sched.Packet.seq in
+  if not (IntSet.mem seq f.received) then begin
+    f.received <- IntSet.add seq f.received;
+    f.received_bytes <- f.received_bytes + p.Sched.Packet.payload
+  end;
+  if (not f.completed) && f.received_bytes >= f.size then begin
+    f.completed <- true;
+    t.active <- t.active - 1;
+    f.on_complete
+      {
+        flow_id = f.id;
+        tenant = f.tenant;
+        size = f.size;
+        started_at = f.started_at;
+        completed_at = Engine.Sim.now t.sim;
+      }
+  end;
+  send_ack t f p
+
+let receive_ack t f (p : Sched.Packet.t) =
+  let seq = p.Sched.Packet.seq in
+  Hashtbl.remove f.outstanding seq;
+  f.retransmit <- IntSet.remove seq f.retransmit;
+  if not (IntSet.mem seq f.acked) then begin
+    f.acked <- IntSet.add seq f.acked;
+    f.acked_bytes <- f.acked_bytes + payload_at f seq
+  end;
+  if f.acked_bytes >= f.size then begin
+    (* Everything delivered and acknowledged: quiesce the sender. *)
+    (match f.rto_handle with
+    | Some h ->
+      Engine.Sim.cancel h;
+      f.rto_handle <- None
+    | None -> ())
+  end
+  else fill t f
+
+(* ------------------------------------------------------------------ *)
+(* CBR transport                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let start_cbr t ~tenant ~ranker ~src ~dst ~rate ?(mtu_payload = 1460)
+    ?(deadline_budget = 1e-3) ?jitter ~until () =
+  if rate <= 0. then invalid_arg "Transport.start_cbr: rate <= 0";
+  if mtu_payload <= 0 then invalid_arg "Transport.start_cbr: mtu <= 0";
+  if deadline_budget <= 0. then invalid_arg "Transport.start_cbr: budget <= 0";
+  if src = dst then invalid_arg "Transport.start_cbr: src = dst";
+  let id = fresh_flow_id t in
+  let stats =
+    { sent = 0; delivered = 0; deadline_met = 0; delay = Engine.Stats.create ~keep_samples:false () }
+  in
+  Hashtbl.replace t.flows id (Cbr { stats });
+  let wire = mtu_payload + Sched.Packet.header_bytes in
+  let mean_gap = 8. *. float_of_int wire /. rate in
+  let seq = ref 0 in
+  let rec send_one () =
+    let now = Engine.Sim.now t.sim in
+    if now < until then begin
+      let p =
+        Sched.Packet.make ~kind:Sched.Packet.Data ~tenant ~src ~dst ~seq:!seq
+          ~payload:mtu_payload ~remaining:mtu_payload
+          ~deadline:(now +. deadline_budget) ~created_at:now ~flow:id
+          ~size:wire ()
+      in
+      seq := !seq + mtu_payload;
+      ignore (Sched.Ranker.tag ranker ~now p);
+      stats.sent <- stats.sent + 1;
+      Net.inject (net t) p;
+      let gap =
+        match jitter with
+        | None -> mean_gap
+        | Some rng -> Engine.Rng.exponential rng ~mean:mean_gap
+      in
+      ignore (Engine.Sim.schedule_after t.sim ~delay:gap send_one)
+    end
+  in
+  send_one ();
+  stats
+
+let receive_cbr t c (p : Sched.Packet.t) =
+  let now = Engine.Sim.now t.sim in
+  c.stats.delivered <- c.stats.delivered + 1;
+  Engine.Stats.add c.stats.delay (now -. p.Sched.Packet.created_at);
+  if now <= p.Sched.Packet.deadline then
+    c.stats.deadline_met <- c.stats.deadline_met + 1
+
+(* ------------------------------------------------------------------ *)
+(* Delivery dispatch                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let deliver t (p : Sched.Packet.t) =
+  match Hashtbl.find_opt t.flows p.Sched.Packet.flow with
+  | None -> () (* stale packet of a forgotten flow *)
+  | Some (Windowed f) -> (
+    match p.Sched.Packet.kind with
+    | Sched.Packet.Data -> receive_data t f p
+    | Sched.Packet.Ack -> receive_ack t f p)
+  | Some (Cbr c) -> (
+    match p.Sched.Packet.kind with
+    | Sched.Packet.Data -> receive_cbr t c p
+    | Sched.Packet.Ack -> ())

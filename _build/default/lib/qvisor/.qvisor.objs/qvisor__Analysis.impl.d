@@ -1,0 +1,1 @@
+lib/qvisor/analysis.ml: Float Format Fun List Policy Printf Synthesizer Tenant Transform

@@ -1,0 +1,1 @@
+lib/qvisor/analysis.mli: Format Synthesizer Tenant

@@ -1,0 +1,1 @@
+lib/qvisor/deploy.ml: Array Hashtbl List Policy Printf Sched Synthesizer Tenant

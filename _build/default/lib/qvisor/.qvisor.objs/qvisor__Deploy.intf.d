@@ -1,0 +1,1 @@
+lib/qvisor/deploy.mli: Policy Sched Synthesizer Tenant

@@ -1,0 +1,1 @@
+lib/qvisor/guard.ml: Hashtbl List Preprocessor Sched Tenant Transform

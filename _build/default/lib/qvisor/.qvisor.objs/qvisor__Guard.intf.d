@@ -1,0 +1,1 @@
+lib/qvisor/guard.mli: Preprocessor Sched Tenant Transform

@@ -1,0 +1,1 @@
+lib/qvisor/hypervisor.ml: Analysis Deploy Guard Latency Option Pipeline Policy Result Runtime

@@ -1,0 +1,1 @@
+lib/qvisor/hypervisor.mli: Analysis Deploy Guard Latency Pipeline Sched Synthesizer Tenant

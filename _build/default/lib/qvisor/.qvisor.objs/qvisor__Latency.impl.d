@@ -1,0 +1,1 @@
+lib/qvisor/latency.ml: Format List Policy Synthesizer Tenant

@@ -1,0 +1,1 @@
+lib/qvisor/latency.mli: Format Synthesizer Tenant

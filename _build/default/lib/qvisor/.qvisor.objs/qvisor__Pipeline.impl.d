@@ -1,0 +1,1 @@
+lib/qvisor/pipeline.ml: Float Format List Policy Printf Sched Synthesizer Tenant Transform

@@ -1,0 +1,1 @@
+lib/qvisor/pipeline.mli: Format Sched Synthesizer

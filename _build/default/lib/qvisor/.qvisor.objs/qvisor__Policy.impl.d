@@ -1,0 +1,1 @@
+lib/qvisor/policy.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/qvisor/policy.mli: Format

@@ -1,0 +1,1 @@
+lib/qvisor/preprocessor.ml: Array Hashtbl List Sched Synthesizer Tenant Transform

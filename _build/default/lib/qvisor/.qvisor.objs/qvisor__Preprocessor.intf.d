@@ -1,0 +1,1 @@
+lib/qvisor/preprocessor.mli: Sched Synthesizer Transform

@@ -1,0 +1,1 @@
+lib/qvisor/runtime.ml: Engine Hashtbl List Option Policy Preprocessor Printf Sched Synthesizer Tenant

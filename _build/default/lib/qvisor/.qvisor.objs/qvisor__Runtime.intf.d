@@ -1,0 +1,1 @@
+lib/qvisor/runtime.mli: Policy Preprocessor Sched Synthesizer Tenant

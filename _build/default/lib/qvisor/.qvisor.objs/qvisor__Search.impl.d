@@ -1,0 +1,1 @@
+lib/qvisor/search.ml: Array Deploy Format List Policy Synthesizer

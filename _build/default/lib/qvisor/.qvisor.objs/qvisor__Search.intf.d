@@ -1,0 +1,1 @@
+lib/qvisor/search.mli: Format Policy Synthesizer Tenant

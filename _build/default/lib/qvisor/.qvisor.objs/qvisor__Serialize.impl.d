@@ -1,0 +1,1 @@
+lib/qvisor/serialize.ml: Analysis Engine List Option Policy Printf Result Synthesizer Tenant Transform

@@ -1,0 +1,1 @@
+lib/qvisor/serialize.mli: Analysis Engine Policy Synthesizer Tenant Transform

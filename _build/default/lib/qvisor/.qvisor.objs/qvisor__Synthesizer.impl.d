@@ -1,0 +1,1 @@
+lib/qvisor/synthesizer.ml: Float Format List Option Policy Result Tenant Transform

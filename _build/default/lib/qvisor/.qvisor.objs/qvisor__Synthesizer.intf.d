@@ -1,0 +1,1 @@
+lib/qvisor/synthesizer.mli: Format Policy Tenant Transform

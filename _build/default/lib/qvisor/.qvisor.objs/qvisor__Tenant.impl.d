@@ -1,0 +1,1 @@
+lib/qvisor/tenant.ml: Format

@@ -1,0 +1,1 @@
+lib/qvisor/transform.ml: Format

@@ -1,0 +1,1 @@
+lib/qvisor/transform.mli: Format

@@ -1,0 +1,153 @@
+type relation =
+  | Isolated
+  | Preferred of float
+  | Shared of float
+  | Inverted
+
+type group = { label : string; members : Tenant.t list }
+
+type pair_report = {
+  high : group;
+  low : group;
+  required : [ `Strict | `Prefer | `Share ];
+  actual : relation;
+  satisfied : bool;
+}
+
+type report = {
+  pairs : pair_report list;
+  feasible : bool;
+  violations : string list;
+}
+
+let tenant_of_plan plan name =
+  let a =
+    List.find
+      (fun a -> a.Synthesizer.tenant.Tenant.name = name)
+      plan.Synthesizer.assignments
+  in
+  a.Synthesizer.tenant
+
+let effective_band plan (tenant : Tenant.t) =
+  let transform = Synthesizer.transform_of plan ~tenant_id:tenant.Tenant.id in
+  Transform.range transform (tenant.Tenant.rank_lo, tenant.Tenant.rank_hi)
+
+let group_band plan g =
+  match g.members with
+  | [] -> invalid_arg "Analysis.group_band: empty group"
+  | members ->
+    List.fold_left
+      (fun (lo, hi) tenant ->
+        let tlo, thi = effective_band plan tenant in
+        (min lo tlo, max hi thi))
+      (max_int, min_int)
+      (List.map Fun.id members)
+
+let relation_of_bands (la, ha) (lb, hb) =
+  if ha < lb then Isolated
+  else if la < lb then begin
+    let contested = float_of_int (min ha hb - lb + 1) in
+    let width_a = float_of_int (ha - la + 1) in
+    Preferred (Float.max 0. (contested /. width_a))
+  end
+  else if la = lb then begin
+    let inter = float_of_int (max 0 (min ha hb - max la lb + 1)) in
+    let union = float_of_int (max ha hb - min la lb + 1) in
+    Shared (inter /. union)
+  end
+  else Inverted
+
+let relation_between plan a b =
+  relation_of_bands (effective_band plan a) (effective_band plan b)
+
+let satisfied required actual =
+  match (required, actual) with
+  | `Strict, Isolated -> true
+  | `Strict, (Preferred _ | Shared _ | Inverted) -> false
+  | `Prefer, (Isolated | Preferred _) -> true
+  | `Prefer, (Shared _ | Inverted) -> false
+  | `Share, Shared _ -> true
+  | `Share, (Isolated | Preferred _ | Inverted) -> false
+
+let group_of_node plan node =
+  {
+    label = Policy.to_string node;
+    members = List.map (tenant_of_plan plan) (Policy.tenant_names node);
+  }
+
+(* Collect (high-operand, low-operand, required) constraints implied by
+   the policy tree: one constraint per ordered operand pair of every
+   operator node, plus whatever the operands imply recursively. *)
+let rec constraints node =
+  let cross required operands =
+    let rec pairs = function
+      | [] -> []
+      | g :: rest -> List.map (fun g' -> (g, g', required)) rest @ pairs rest
+    in
+    pairs operands
+  in
+  match node with
+  | Policy.Tenant _ -> []
+  | Policy.Share members ->
+    cross `Share members @ List.concat_map constraints members
+  | Policy.Prefer groups ->
+    cross `Prefer groups @ List.concat_map constraints groups
+  | Policy.Strict tiers ->
+    cross `Strict tiers @ List.concat_map constraints tiers
+
+let check plan =
+  let pairs =
+    List.map
+      (fun (hi_node, lo_node, required) ->
+        let high = group_of_node plan hi_node in
+        let low = group_of_node plan lo_node in
+        let actual =
+          relation_of_bands (group_band plan high) (group_band plan low)
+        in
+        { high; low; required; actual; satisfied = satisfied required actual })
+      (constraints plan.Synthesizer.policy)
+  in
+  let violations =
+    List.filter_map
+      (fun p ->
+        if p.satisfied then None
+        else
+          Some
+            (Printf.sprintf "(%s) vs (%s): required %s not met in the worst case"
+               p.high.label p.low.label
+               (match p.required with
+               | `Strict -> "strict priority (>>)"
+               | `Prefer -> "preference (>)"
+               | `Share -> "sharing (+)")))
+      pairs
+  in
+  { pairs; feasible = violations = []; violations }
+
+let starvation_risk plan =
+  let rec lower_tiers = function
+    | Policy.Tenant _ -> []
+    | Policy.Share l | Policy.Prefer l -> List.concat_map lower_tiers l
+    | Policy.Strict (first :: rest) ->
+      List.concat_map Policy.tenant_names rest
+      @ List.concat_map lower_tiers (first :: rest)
+    | Policy.Strict [] -> []
+  in
+  lower_tiers plan.Synthesizer.policy
+  |> List.sort_uniq compare
+  |> List.map (tenant_of_plan plan)
+
+let pp_relation ppf = function
+  | Isolated -> Format.pp_print_string ppf "isolated"
+  | Preferred f -> Format.fprintf ppf "preferred (%.0f%% contested)" (100. *. f)
+  | Shared f -> Format.fprintf ppf "shared (%.0f%% aligned)" (100. *. f)
+  | Inverted -> Format.pp_print_string ppf "INVERTED"
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>feasible: %b" r.feasible;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@,%s vs %s: %a%s" p.high.label p.low.label
+        pp_relation p.actual
+        (if p.satisfied then "" else "  [VIOLATION]"))
+    r.pairs;
+  Format.fprintf ppf "@]"

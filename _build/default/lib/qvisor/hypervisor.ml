@@ -1,0 +1,87 @@
+type t = {
+  runtime : Runtime.t;
+  guard : Guard.t option;
+  mutable processed : int;
+}
+
+let parse_policy s =
+  match Policy.parse s with
+  | Ok p -> Ok p
+  | Error e -> Error ("policy: " ^ e)
+
+let create ?config ?guard ?(guarded = true) ~tenants ~policy () =
+  match parse_policy policy with
+  | Error _ as e -> e
+  | Ok policy -> (
+    match Runtime.create ?config ~tenants ~policy () with
+    | runtime ->
+      let guard =
+        if guarded then Some (Guard.create ?config:guard ~tenants ())
+        else None
+      in
+      Ok { runtime; guard; processed = 0 }
+    | exception Invalid_argument e -> Error e)
+
+let create_exn ?config ?guard ?guarded ~tenants ~policy () =
+  match create ?config ?guard ?guarded ~tenants ~policy () with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Hypervisor.create: " ^ e)
+
+let process t p =
+  t.processed <- t.processed + 1;
+  match t.guard with
+  | Some guard ->
+    Runtime.observe t.runtime p;
+    Guard.process guard (Runtime.preprocessor t.runtime) p
+  | None -> Runtime.process t.runtime p
+
+let make_scheduler t backend =
+  Deploy.instantiate ~plan:(Runtime.plan t.runtime) backend
+
+let plan t = Runtime.plan t.runtime
+
+let analyze t = Analysis.check (plan t)
+
+let delay_bounds t ~envelopes ~link_rate =
+  Latency.report ~plan:(plan t) ~envelopes ~link_rate ()
+
+let compile_pipeline t ?resources () = Pipeline.compile ?resources (plan t)
+
+let verdict t ~tenant_id =
+  match t.guard with
+  | None -> Guard.Conforming
+  | Some guard -> Guard.verdict guard ~tenant_id
+
+let add_tenant t tenant ?policy () =
+  let policy =
+    match policy with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (parse_policy s)
+  in
+  match policy with
+  | Error _ as e -> Result.map ignore e
+  | Ok policy -> (
+    match Runtime.add_tenant t.runtime tenant ?policy () with
+    | Ok () ->
+      Option.iter (fun guard -> Guard.watch guard tenant) t.guard;
+      Ok ()
+    | Error _ as e -> e)
+
+let remove_tenant t ~tenant_id ?policy () =
+  let policy =
+    match policy with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (parse_policy s)
+  in
+  match policy with
+  | Error _ as e -> Result.map ignore e
+  | Ok policy -> (
+    match Runtime.remove_tenant t.runtime ~tenant_id ?policy () with
+    | Ok () ->
+      Option.iter (fun guard -> Guard.unwatch guard ~tenant_id) t.guard;
+      Ok ()
+    | Error _ as e -> e)
+
+let refresh t = Runtime.refresh t.runtime
+
+let packets_processed t = t.processed

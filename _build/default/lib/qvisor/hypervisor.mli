@@ -1,0 +1,70 @@
+(** The assembled scheduling hypervisor — a batteries-included facade over
+    the QVISOR stack for users who want the Fig. 1 box, not its parts.
+
+    One [create] call parses the operator policy, synthesizes the joint
+    scheduling function, compiles the pre-processor, arms the runtime
+    monitor, and (optionally) the adversarial-workload guard.  [process]
+    is the single line-rate entry point to install in front of the
+    hardware scheduler; [make_scheduler] instantiates that scheduler for
+    any supported backend. *)
+
+type t
+
+val create :
+  ?config:Synthesizer.config ->
+  ?guard:Guard.config ->
+  ?guarded:bool ->
+  tenants:Tenant.t list ->
+  policy:string ->
+  unit ->
+  (t, string) result
+(** [guarded] (default [true]) arms the adversarial-workload guard with
+    [guard] (default {!Guard.default_config}). *)
+
+val create_exn :
+  ?config:Synthesizer.config ->
+  ?guard:Guard.config ->
+  ?guarded:bool ->
+  tenants:Tenant.t list ->
+  policy:string ->
+  unit ->
+  t
+
+val process : t -> Sched.Packet.t -> unit
+(** The data-plane path: guard observation and mitigation (when armed),
+    runtime observation, rank transformation. *)
+
+val make_scheduler : t -> Deploy.backend -> Sched.Qdisc.t
+(** Instantiate the hardware scheduler for the current plan. *)
+
+val plan : t -> Synthesizer.plan
+
+val analyze : t -> Analysis.report
+(** Worst-case guarantee report for the current plan. *)
+
+val delay_bounds :
+  t ->
+  envelopes:(int * Latency.envelope) list ->
+  link_rate:float ->
+  (Tenant.t * Latency.bound) list
+(** Worst-case queueing-delay bounds per tenant under the current plan
+    (see {!Latency.report}). *)
+
+val compile_pipeline :
+  t -> ?resources:Pipeline.resources -> unit -> (Pipeline.program, string) result
+(** Compile the current plan to a match-action pipeline
+    (see {!Pipeline.compile}). *)
+
+val verdict : t -> tenant_id:int -> Guard.verdict
+(** [Conforming] when the guard is not armed. *)
+
+val add_tenant : t -> Tenant.t -> ?policy:string -> unit -> (unit, string) result
+(** Tenant joins; re-synthesizes and hot-swaps (see {!Runtime.add_tenant}).
+    The guard, when armed, starts watching the newcomer. *)
+
+val remove_tenant : t -> tenant_id:int -> ?policy:string -> unit -> (unit, string) result
+
+val refresh : t -> (unit, string) result
+(** Re-synthesize from observed rank ranges ({!Runtime.refresh}). *)
+
+val packets_processed : t -> int

@@ -1,0 +1,165 @@
+type action = {
+  clamp_lo : int;
+  clamp_hi : int;
+  mult : int;
+  rshift : int;
+  add : int;
+}
+
+type entry = { tenant_id : int; action : action; worst_error : int }
+
+type resources = { max_mult : int; max_rshift : int; max_entries : int }
+
+let default_resources = { max_mult = 65536; max_rshift = 31; max_entries = 1024 }
+
+type program = { entries : entry list; fallback : action; worst_error : int }
+
+let apply_action a x =
+  let clamped = max a.clamp_lo (min a.clamp_hi x) in
+  ((clamped * a.mult) asr a.rshift) + a.add
+
+(* Widest source range we are willing to verify exhaustively. *)
+let max_scan_width = 1 lsl 22
+
+(* Fit mult/2^rshift to the slope: the largest shift whose rounded
+   multiplier still fits the hardware multiplier. *)
+let fit_slope ~resources slope =
+  if slope <= 0. then Some (0, 0)
+  else begin
+    let rec search rshift =
+      if rshift < 0 then None
+      else begin
+        let mult = Float.round (slope *. float_of_int (1 lsl rshift)) in
+        if mult <= float_of_int resources.max_mult && mult >= 1. then
+          Some (int_of_float mult, rshift)
+        else search (rshift - 1)
+      end
+    in
+    search resources.max_rshift
+  end
+
+let compile_entry ~resources (a : Synthesizer.assignment) ~tier_lo ~tier_hi =
+  let tenant = a.Synthesizer.tenant in
+  let lo = tenant.Tenant.rank_lo and hi = tenant.Tenant.rank_hi in
+  let width = hi - lo in
+  if width > max_scan_width then
+    Error
+      (Printf.sprintf "tenant %s: source range too wide to verify (%d)"
+         tenant.Tenant.name width)
+  else begin
+    let exact x = Transform.apply a.Synthesizer.transform x in
+    let slope =
+      if width = 0 then 0.
+      else float_of_int (exact hi - exact lo) /. float_of_int width
+    in
+    match fit_slope ~resources slope with
+    | None ->
+      Error
+        (Printf.sprintf "tenant %s: slope %g not representable"
+           tenant.Tenant.name slope)
+    | Some (mult, rshift) ->
+      let add = exact lo - ((lo * mult) asr rshift) in
+      let action = { clamp_lo = lo; clamp_hi = hi; mult; rshift; add } in
+      (* Exhaustive verification over the declared source range. *)
+      let worst = ref 0 in
+      let out_lo = ref max_int and out_hi = ref min_int in
+      for x = lo to hi do
+        let compiled = apply_action action x in
+        let err = abs (compiled - exact x) in
+        if err > !worst then worst := err;
+        if compiled < !out_lo then out_lo := compiled;
+        if compiled > !out_hi then out_hi := compiled
+      done;
+      if !out_lo < tier_lo || !out_hi > tier_hi then
+        Error
+          (Printf.sprintf
+             "tenant %s: compiled ranks [%d,%d] escape tier [%d,%d] — \
+              approximation would break isolation"
+             tenant.Tenant.name !out_lo !out_hi tier_lo tier_hi)
+      else
+        Ok { tenant_id = tenant.Tenant.id; action; worst_error = !worst }
+  end
+
+(* The strict-tier span containing each tenant (compiled ranks must stay
+   inside it to preserve isolation). *)
+let tier_span_of (plan : Synthesizer.plan) tenant_name =
+  let tiers = Policy.strict_tiers plan.Synthesizer.policy in
+  let band_of name =
+    let a =
+      List.find
+        (fun a -> a.Synthesizer.tenant.Tenant.name = name)
+        plan.Synthesizer.assignments
+    in
+    a.Synthesizer.band
+  in
+  let tier =
+    List.find (fun t -> List.mem tenant_name (Policy.tenant_names t)) tiers
+  in
+  List.fold_left
+    (fun (lo, hi) name ->
+      let b = band_of name in
+      (min lo b.Synthesizer.lo, max hi b.Synthesizer.hi))
+    (max_int, min_int)
+    (Policy.tenant_names tier)
+
+let compile ?(resources = default_resources) (plan : Synthesizer.plan) =
+  let n = List.length plan.Synthesizer.assignments in
+  if n + 1 > resources.max_entries then
+    Error
+      (Printf.sprintf "table overflow: %d entries needed, %d available"
+         (n + 1) resources.max_entries)
+  else begin
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | a :: rest -> (
+        let tier_lo, tier_hi =
+          tier_span_of plan a.Synthesizer.tenant.Tenant.name
+        in
+        match compile_entry ~resources a ~tier_lo ~tier_hi with
+        | Error _ as e -> e
+        | Ok entry -> build (entry :: acc) rest)
+    in
+    match build [] plan.Synthesizer.assignments with
+    | Error e -> Error e
+    | Ok entries ->
+      (* Unknown tenants park at the very worst rank, as in the plan. *)
+      let fallback =
+        {
+          clamp_lo = 0;
+          clamp_hi = 0;
+          mult = 0;
+          rshift = 0;
+          add = plan.Synthesizer.rank_hi;
+        }
+      in
+      let worst_error =
+        List.fold_left (fun acc (e : entry) -> max acc e.worst_error) 0 entries
+      in
+      Ok { entries; fallback; worst_error }
+  end
+
+let execute program (p : Sched.Packet.t) =
+  let action =
+    match
+      List.find_opt
+        (fun e -> e.tenant_id = p.Sched.Packet.tenant)
+        program.entries
+    with
+    | Some e -> e.action
+    | None -> program.fallback
+  in
+  p.Sched.Packet.rank <- apply_action action p.Sched.Packet.label
+
+let pp_program ppf program =
+  Format.fprintf ppf "@[<v>match-action table (%d entries, worst error %d):"
+    (List.length program.entries)
+    program.worst_error;
+  List.iter
+    (fun (e : entry) ->
+      Format.fprintf ppf
+        "@,tenant %d -> clamp[%d,%d]; rank := (label * %d) >> %d %+d   \
+         (err <= %d)"
+        e.tenant_id e.action.clamp_lo e.action.clamp_hi e.action.mult
+        e.action.rshift e.action.add e.worst_error)
+    program.entries;
+  Format.fprintf ppf "@,default -> rank := %d@]" program.fallback.add

@@ -1,0 +1,66 @@
+(** Compiling the joint scheduling function to a match-action pipeline
+    (§5, "Compiling scheduling policies into hardware").
+
+    Programmable switch pipelines cannot divide: a per-packet action is
+    limited to integer multiply-shift-add.  This module compiles a
+    synthesized plan's transformations into a one-stage match-action
+    table:
+
+    - {e match}: the packet's tenant id (exact match);
+    - {e action}: [rank := clamp(label, lo, hi) * mult >> rshift + add],
+      with [mult] capped at [max_mult] (hardware multiplier width).
+
+    Because [mult / 2^rshift] only approximates the normalization slope
+    [dst_width / src_width], compiled ranks can deviate from the exact
+    transformation.  The compiler reports the {e worst-case rank error}
+    per entry — computed exactly by scanning the quantization breakpoints
+    — and refuses configurations whose error would break a strict-tier
+    boundary (the deviation could push a packet into a neighbouring
+    band). *)
+
+type action = {
+  clamp_lo : int;  (** clamp the label into the declared source range *)
+  clamp_hi : int;
+  mult : int;
+  rshift : int;
+  add : int;
+}
+
+type entry = {
+  tenant_id : int;
+  action : action;
+  worst_error : int;
+      (** max |compiled - exact| over the whole source range *)
+}
+
+type resources = {
+  max_mult : int;  (** multiplier magnitude bound, e.g. 2^16 *)
+  max_rshift : int;  (** barrel-shifter width, e.g. 31 *)
+  max_entries : int;  (** table capacity *)
+}
+
+val default_resources : resources
+(** [{max_mult = 65536; max_rshift = 31; max_entries = 1024}] — a Tofino
+    -class stage. *)
+
+type program = {
+  entries : entry list;
+  fallback : action;  (** applied to unknown tenant ids *)
+  worst_error : int;  (** max over entries *)
+}
+
+val compile :
+  ?resources:resources -> Synthesizer.plan -> (program, string) result
+(** Compile every tenant's transformation.  Fails when the table
+    overflows, a multiplier cannot be represented, or the worst-case
+    error of some entry reaches its band's distance to the next strict
+    tier (which would let packets defect across an isolation boundary). *)
+
+val apply_action : action -> int -> int
+(** Execute one action in software (bit-exact model of the hardware). *)
+
+val execute : program -> Sched.Packet.t -> unit
+(** The compiled pre-processor: look up the tenant, run the action on the
+    label, store the scheduling rank. *)
+
+val pp_program : Format.formatter -> program -> unit

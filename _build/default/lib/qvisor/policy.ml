@@ -1,0 +1,154 @@
+type t =
+  | Tenant of string
+  | Share of t list
+  | Prefer of t list
+  | Strict of t list
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type token = Name of string | Op_share | Op_prefer | Op_strict | Lparen | Rparen
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let lex input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else begin
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' | '{' | '}' -> go (i + 1) acc
+      | '+' -> go (i + 1) (Op_share :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (Op_strict :: acc)
+        else go (i + 1) (Op_prefer :: acc)
+      | c when is_name_start c ->
+        let j = ref (i + 1) in
+        while !j < n && is_name_char input.[!j] do
+          incr j
+        done;
+        go !j (Name (String.sub input i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C at position %d" c i)
+    end
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parsing:                                         *)
+(*   strict := prefer (">>" prefer)*                                  *)
+(*   prefer := share (">" share)*                                     *)
+(*   share  := atom ("+" atom)*                                       *)
+(*   atom   := NAME | "(" strict ")"                                  *)
+(* Parentheses enable arbitrary nesting (the paper's "more expressive *)
+(* specifications" direction), e.g. "T1 + (T2 >> T3)".                *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let group ctor = function [ single ] -> single | many -> ctor many
+
+let parse_tokens tokens =
+  let stream = ref tokens in
+  let peek () = match !stream with [] -> None | tok :: _ -> Some tok in
+  let advance () =
+    match !stream with
+    | [] -> raise (Parse_error "unexpected end of policy")
+    | tok :: rest ->
+      stream := rest;
+      tok
+  in
+  (* Parse one binary level: [sub] parses the tighter-binding operand,
+     [op] is the token that continues this level, [ctor] builds the node. *)
+  let rec level sub op ctor () =
+    let first = sub () in
+    let rec more acc =
+      match peek () with
+      | Some tok when tok = op ->
+        ignore (advance ());
+        more (sub () :: acc)
+      | _ -> List.rev acc
+    in
+    group ctor (more [ first ])
+  and strict () = level prefer Op_strict (fun l -> Strict l) ()
+  and prefer () = level share Op_prefer (fun l -> Prefer l) ()
+  and share () = level atom Op_share (fun l -> Share l) ()
+  and atom () =
+    match advance () with
+    | Name n -> Tenant n
+    | Lparen ->
+      let inner = strict () in
+      (match advance () with
+      | Rparen -> inner
+      | _ -> raise (Parse_error "expected ')'"))
+    | Op_share | Op_prefer | Op_strict ->
+      raise (Parse_error "operator where a tenant name was expected")
+    | Rparen -> raise (Parse_error "unexpected ')'")
+  in
+  match tokens with
+  | [] -> Error "empty policy"
+  | _ -> (
+    try
+      let t = strict () in
+      match !stream with
+      | [] -> Ok t
+      | Rparen :: _ -> Error "unbalanced ')'"
+      | _ -> Error "trailing tokens after a complete policy"
+    with Parse_error e -> Error e)
+
+let parse input =
+  match lex input with Error e -> Error e | Ok tokens -> parse_tokens tokens
+
+let parse_exn input =
+  match parse input with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Policy.parse: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and queries                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Precedence-aware rendering: parenthesize a child that binds looser
+   than its context so that [parse (to_string t) = Ok t]. *)
+let prec = function Strict _ -> 0 | Prefer _ -> 1 | Share _ -> 2 | Tenant _ -> 3
+
+let rec render ~min_prec t =
+  let self = prec t in
+  let body =
+    match t with
+    | Tenant n -> n
+    | Share l -> String.concat " + " (List.map (render ~min_prec:3) l)
+    | Prefer l -> String.concat " > " (List.map (render ~min_prec:2) l)
+    | Strict l -> String.concat " >> " (List.map (render ~min_prec:1) l)
+  in
+  if self < min_prec then "(" ^ body ^ ")" else body
+
+let to_string t = render ~min_prec:0 t
+
+let rec tenant_names = function
+  | Tenant n -> [ n ]
+  | Share l | Prefer l | Strict l -> List.concat_map tenant_names l
+
+let validate t ~known =
+  let names = tenant_names t in
+  let rec find_dup seen = function
+    | [] -> None
+    | n :: rest -> if List.mem n seen then Some n else find_dup (n :: seen) rest
+  in
+  match find_dup [] names with
+  | Some n -> Error (Printf.sprintf "tenant %s appears more than once" n)
+  | None -> (
+    match List.find_opt (fun n -> not (List.mem n known)) names with
+    | Some n -> Error (Printf.sprintf "unknown tenant %s in policy" n)
+    | None -> (
+      match List.find_opt (fun n -> not (List.mem n names)) known with
+      | Some n -> Error (Printf.sprintf "tenant %s not covered by policy" n)
+      | None -> Ok ()))
+
+let strict_tiers = function Strict l -> l | other -> [ other ]
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

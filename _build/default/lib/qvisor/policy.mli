@@ -1,0 +1,51 @@
+(** The operator's inter-tenant policy language (§3.1).
+
+    A policy is a string of tenant names combined with three operators:
+
+    - [>>] — strict priority: everything on the left is {e isolated} from
+      (always served before) everything on the right;
+    - [>] — preferential, best-effort priority;
+    - [+] — resource sharing.
+
+    Binding tightness is [+] > [>] > [>>], so
+    [{T1 >> T2 > T3 + T4 >> T5}] reads: T1 strictly above the middle tier;
+    inside the middle tier T2 is preferred over the sharing group T3+T4;
+    the whole middle tier is strictly above T5 — exactly the paper's
+    worked example.
+
+    As an extension beyond the paper's three flat operators (its
+    "increasing specification expressivity" direction), parentheses allow
+    arbitrary nesting: [T1 + (T2 >> T3)] shares the resources between T1
+    and a sub-policy in which T2 is strictly above T3. *)
+
+type t =
+  | Tenant of string
+  | Share of t list  (** [+], two or more members *)
+  | Prefer of t list  (** [>], ordered, two or more members *)
+  | Strict of t list  (** [>>], ordered, two or more members *)
+
+val parse : string -> (t, string) result
+(** Parse a policy string.  Tenant names match [\[A-Za-z_\]\[A-Za-z0-9_\]*].
+    Braces (as in the paper's notation [{T1 >> T2}]) are accepted and
+    ignored; parentheses group.  Errors are human-readable. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on parse errors. *)
+
+val to_string : t -> string
+(** Render back to the operator syntax (canonical spacing, no braces,
+    parentheses only where nesting requires them); [parse (to_string t)]
+    yields [t] back. *)
+
+val tenant_names : t -> string list
+(** All tenant names, left to right. *)
+
+val validate : t -> known:string list -> (unit, string) result
+(** Check that each policy name is a known tenant, appears only once, and
+    that every known tenant is covered by the policy. *)
+
+val strict_tiers : t -> t list
+(** The top-level strict-priority tiers, highest priority first (a
+    singleton list when the root is not [Strict]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  mutable table : Transform.t array; (* dense, indexed by tenant id *)
+  mutable fallback : Transform.t;
+  mutable current : Synthesizer.plan;
+  counts : (int, int ref) Hashtbl.t;
+  mutable processed : int;
+}
+
+let table_of_plan (plan : Synthesizer.plan) =
+  let max_id =
+    List.fold_left
+      (fun acc a -> max acc a.Synthesizer.tenant.Tenant.id)
+      (-1) plan.Synthesizer.assignments
+  in
+  let table = Array.make (max_id + 1) plan.Synthesizer.fallback in
+  List.iter
+    (fun a -> table.(a.Synthesizer.tenant.Tenant.id) <- a.Synthesizer.transform)
+    plan.Synthesizer.assignments;
+  table
+
+let of_plan plan =
+  {
+    table = table_of_plan plan;
+    fallback = plan.Synthesizer.fallback;
+    current = plan;
+    counts = Hashtbl.create 16;
+    processed = 0;
+  }
+
+let transform_for t ~tenant_id =
+  if tenant_id >= 0 && tenant_id < Array.length t.table then
+    t.table.(tenant_id)
+  else t.fallback
+
+let process_conditioned t ~conditioning (p : Sched.Packet.t) =
+  let id = p.Sched.Packet.tenant in
+  (* Always recomputed from the immutable tenant label, so running the
+     pre-processor at every QVISOR hop is idempotent. *)
+  let conditioned = Transform.apply conditioning p.Sched.Packet.label in
+  p.Sched.Packet.rank <- Transform.apply (transform_for t ~tenant_id:id) conditioned;
+  t.processed <- t.processed + 1;
+  match Hashtbl.find_opt t.counts id with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts id (ref 1)
+
+let process t p = process_conditioned t ~conditioning:Transform.Identity p
+
+let processed t = t.processed
+
+let per_tenant t =
+  Hashtbl.fold (fun id r acc -> (id, !r) :: acc) t.counts []
+  |> List.sort compare
+
+let plan t = t.current
+
+let swap_plan t plan =
+  t.table <- table_of_plan plan;
+  t.fallback <- plan.Synthesizer.fallback;
+  t.current <- plan

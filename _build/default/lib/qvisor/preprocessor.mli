@@ -1,0 +1,42 @@
+(** The data-plane pre-processor (§3.3).
+
+    For each incoming packet it reads the two labels (tenant id, rank),
+    looks up the tenant's transformation from the synthesized plan, rewrites
+    the rank, and hands the packet on to the hardware scheduler.  The
+    lookup table is a dense array indexed by tenant id — a match-action
+    table in the hardware realization — so the per-packet cost is O(depth
+    of the transformation), independent of tenant count. *)
+
+type t
+
+val of_plan : Synthesizer.plan -> t
+(** Compile a plan into a line-rate lookup table. *)
+
+val process : t -> Sched.Packet.t -> unit
+(** Compute the packet's scheduling rank from its (immutable) tenant
+    label and store it in [rank].  Because the input is the label, the
+    operation is idempotent — safe to install on every hop of a multi-hop
+    QVISOR deployment. *)
+
+val process_conditioned :
+  t -> conditioning:Transform.t -> Sched.Packet.t -> unit
+(** Like {!process} but applies [conditioning] to the label first — the
+    hook the adversarial-workload guard uses to clamp or park offenders
+    without touching the synthesized plan. *)
+
+val transform_for : t -> tenant_id:int -> Transform.t
+(** The transformation the table currently holds for a tenant
+    ([fallback] when absent). *)
+
+val processed : t -> int
+(** Packets processed so far. *)
+
+val per_tenant : t -> (int * int) list
+(** [(tenant_id, packets)] counts for tenants seen, including unknown
+    tenants handled by the fallback (reported with their own id). *)
+
+val plan : t -> Synthesizer.plan
+
+val swap_plan : t -> Synthesizer.plan -> unit
+(** Atomically replace the transformation table — the runtime controller's
+    re-deployment path.  Counters are preserved. *)

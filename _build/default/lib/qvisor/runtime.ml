@@ -1,0 +1,122 @@
+type observation = {
+  mutable seen : bool;
+  mutable min_rank : int;
+  mutable max_rank : int;
+  p50 : Engine.P2_quantile.t;
+  p99 : Engine.P2_quantile.t;
+}
+
+let fresh_observation () =
+  {
+    seen = false;
+    min_rank = 0;
+    max_rank = 0;
+    p50 = Engine.P2_quantile.create ~q:0.5;
+    p99 = Engine.P2_quantile.create ~q:0.99;
+  }
+
+type t = {
+  config : Synthesizer.config;
+  mutable tenants : Tenant.t list;
+  mutable policy : Policy.t;
+  pre : Preprocessor.t;
+  observations : (int, observation) Hashtbl.t;
+  mutable resyntheses : int;
+}
+
+let synthesize_now config tenants policy =
+  Synthesizer.synthesize ~config ~tenants ~policy ()
+
+let create ?(config = Synthesizer.default_config) ~tenants ~policy () =
+  match synthesize_now config tenants policy with
+  | Error e -> invalid_arg ("Runtime.create: " ^ e)
+  | Ok plan ->
+    {
+      config;
+      tenants;
+      policy;
+      pre = Preprocessor.of_plan plan;
+      observations = Hashtbl.create 16;
+      resyntheses = 0;
+    }
+
+let observe t (p : Sched.Packet.t) =
+  let id = p.Sched.Packet.tenant in
+  let obs =
+    match Hashtbl.find_opt t.observations id with
+    | Some o -> o
+    | None ->
+      let o = fresh_observation () in
+      Hashtbl.add t.observations id o;
+      o
+  in
+  let r = p.Sched.Packet.label in
+  if obs.seen then begin
+    if r < obs.min_rank then obs.min_rank <- r;
+    if r > obs.max_rank then obs.max_rank <- r
+  end
+  else begin
+    obs.seen <- true;
+    obs.min_rank <- r;
+    obs.max_rank <- r
+  end;
+  Engine.P2_quantile.add obs.p50 (float_of_int r);
+  Engine.P2_quantile.add obs.p99 (float_of_int r)
+
+let process t p =
+  observe t p;
+  Preprocessor.process t.pre p
+
+let preprocessor t = t.pre
+
+let plan t = Preprocessor.plan t.pre
+
+let resyntheses t = t.resyntheses
+
+let observed_range t ~tenant_id =
+  match Hashtbl.find_opt t.observations tenant_id with
+  | Some o when o.seen -> Some (o.min_rank, o.max_rank)
+  | Some _ | None -> None
+
+let redeploy t tenants policy =
+  match synthesize_now t.config tenants policy with
+  | Error e -> Error e
+  | Ok plan ->
+    t.tenants <- tenants;
+    t.policy <- policy;
+    Preprocessor.swap_plan t.pre plan;
+    t.resyntheses <- t.resyntheses + 1;
+    Ok ()
+
+let add_tenant t tenant ?policy () =
+  if List.exists (fun x -> x.Tenant.id = tenant.Tenant.id) t.tenants then
+    Error (Printf.sprintf "tenant id %d already present" tenant.Tenant.id)
+  else begin
+    let policy = Option.value policy ~default:t.policy in
+    redeploy t (t.tenants @ [ tenant ]) policy
+  end
+
+let remove_tenant t ~tenant_id ?policy () =
+  if not (List.exists (fun x -> x.Tenant.id = tenant_id) t.tenants) then
+    Error (Printf.sprintf "tenant id %d not present" tenant_id)
+  else begin
+    let tenants = List.filter (fun x -> x.Tenant.id <> tenant_id) t.tenants in
+    let policy = Option.value policy ~default:t.policy in
+    Hashtbl.remove t.observations tenant_id;
+    redeploy t tenants policy
+  end
+
+let refresh t =
+  let tenants =
+    List.map
+      (fun tenant ->
+        match observed_range t ~tenant_id:tenant.Tenant.id with
+        | Some (lo, hi) -> { tenant with Tenant.rank_lo = lo; rank_hi = hi }
+        | None -> tenant)
+      t.tenants
+  in
+  match redeploy t tenants t.policy with
+  | Error _ as e -> e
+  | Ok () ->
+    Hashtbl.reset t.observations;
+    Ok ()

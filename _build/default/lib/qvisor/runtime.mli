@@ -1,0 +1,57 @@
+(** The runtime controller (the paper's Idea 2, online flavour).
+
+    An event-driven controller in the spirit of the paper's SDN analogy:
+    it observes the raw ranks each tenant actually emits (constant-memory
+    quantile sketches), supports tenants joining and leaving at runtime,
+    and re-synthesizes + hot-swaps the pre-processor's plan when the
+    population or the observed distributions change. *)
+
+type t
+
+val create :
+  ?config:Synthesizer.config ->
+  tenants:Tenant.t list ->
+  policy:Policy.t ->
+  unit ->
+  t
+(** Build the controller, synthesize the initial plan, and compile the
+    pre-processor.
+    @raise Invalid_argument if the initial synthesis fails. *)
+
+val process : t -> Sched.Packet.t -> unit
+(** The line-rate path: observe the packet's rank label for its tenant's
+    sketch, then apply the current transformation.  Install this as the
+    fabric's [preprocess] hook. *)
+
+val observe : t -> Sched.Packet.t -> unit
+(** Only the observation half of {!process} — for callers that route the
+    transformation through their own path (e.g. the guarded hypervisor). *)
+
+val preprocessor : t -> Preprocessor.t
+
+val plan : t -> Synthesizer.plan
+
+val resyntheses : t -> int
+(** Number of plan recomputations so far (initial synthesis excluded). *)
+
+val observed_range : t -> tenant_id:int -> (int * int) option
+(** Smallest and largest raw rank seen from a tenant since the last
+    [refresh] reset ([None] before any packet). *)
+
+val add_tenant : t -> Tenant.t -> ?policy:Policy.t -> unit -> (unit, string) result
+(** A tenant joins (the paper's t1 moment in Fig. 2).  A new policy
+    covering the extended population must be supplied via [?policy] unless
+    the current one already names the tenant.  On success the plan is
+    re-synthesized and swapped in. *)
+
+val remove_tenant : t -> tenant_id:int -> ?policy:Policy.t -> unit -> (unit, string) result
+(** A tenant leaves.  [?policy] replaces the operator policy when the
+    current one would still name the departed tenant (which it normally
+    does). *)
+
+val refresh : t -> (unit, string) result
+(** Re-synthesize using the {e observed} rank ranges instead of the
+    declared ones (tenants that emitted nothing keep their declaration),
+    then reset the observation window.  This is the paper's "compute
+    transformation functions … based on the distribution of the latest
+    packets". *)

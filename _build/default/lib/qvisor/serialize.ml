@@ -1,0 +1,143 @@
+module J = Engine.Json
+
+let ( let* ) = Result.bind
+
+let field name json ~conv ~what =
+  match Option.bind (J.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S in %s" name what)
+
+let tenant_to_json (t : Tenant.t) =
+  J.Obj
+    [
+      ("id", J.Number (float_of_int t.Tenant.id));
+      ("name", J.String t.Tenant.name);
+      ("algorithm", J.String t.Tenant.algorithm);
+      ("rank_lo", J.Number (float_of_int t.Tenant.rank_lo));
+      ("rank_hi", J.Number (float_of_int t.Tenant.rank_hi));
+      ("weight", J.Number t.Tenant.weight);
+    ]
+
+let tenant_of_json json =
+  let* id = field "id" json ~conv:J.to_int ~what:"tenant" in
+  let* name = field "name" json ~conv:J.to_str ~what:"tenant" in
+  let* algorithm = field "algorithm" json ~conv:J.to_str ~what:"tenant" in
+  let* rank_lo = field "rank_lo" json ~conv:J.to_int ~what:"tenant" in
+  let* rank_hi = field "rank_hi" json ~conv:J.to_int ~what:"tenant" in
+  let* weight = field "weight" json ~conv:J.to_float ~what:"tenant" in
+  match Tenant.make ~algorithm ~rank_lo ~rank_hi ~weight ~id ~name () with
+  | t -> Ok t
+  | exception Invalid_argument e -> Error e
+
+let policy_to_json policy = J.String (Policy.to_string policy)
+
+let policy_of_json json =
+  match J.to_str json with
+  | None -> Error "policy must be a string"
+  | Some s -> Policy.parse s
+
+let rec transform_to_json = function
+  | Transform.Identity -> J.Obj [ ("kind", J.String "identity") ]
+  | Transform.Shift k ->
+    J.Obj [ ("kind", J.String "shift"); ("by", J.Number (float_of_int k)) ]
+  | Transform.Normalize { src_lo; src_hi; dst_lo; dst_hi; levels } ->
+    J.Obj
+      [
+        ("kind", J.String "normalize");
+        ("src_lo", J.Number (float_of_int src_lo));
+        ("src_hi", J.Number (float_of_int src_hi));
+        ("dst_lo", J.Number (float_of_int dst_lo));
+        ("dst_hi", J.Number (float_of_int dst_hi));
+        ("levels", J.Number (float_of_int levels));
+      ]
+  | Transform.Compose (f, g) ->
+    J.Obj
+      [
+        ("kind", J.String "compose");
+        ("first", transform_to_json f);
+        ("then", transform_to_json g);
+      ]
+
+let plan_to_json (plan : Synthesizer.plan) =
+  J.Obj
+    [
+      ("policy", policy_to_json plan.Synthesizer.policy);
+      ("rank_lo", J.Number (float_of_int plan.Synthesizer.rank_lo));
+      ("rank_hi", J.Number (float_of_int plan.Synthesizer.rank_hi));
+      ( "assignments",
+        J.List
+          (List.map
+             (fun a ->
+               J.Obj
+                 [
+                   ("tenant", tenant_to_json a.Synthesizer.tenant);
+                   ( "band",
+                     J.Obj
+                       [
+                         ( "lo",
+                           J.Number (float_of_int a.Synthesizer.band.Synthesizer.lo) );
+                         ( "hi",
+                           J.Number (float_of_int a.Synthesizer.band.Synthesizer.hi) );
+                       ] );
+                   ("transform", transform_to_json a.Synthesizer.transform);
+                 ])
+             plan.Synthesizer.assignments) );
+    ]
+
+let relation_to_json = function
+  | Analysis.Isolated -> J.Obj [ ("kind", J.String "isolated") ]
+  | Analysis.Preferred f ->
+    J.Obj [ ("kind", J.String "preferred"); ("contested", J.Number f) ]
+  | Analysis.Shared f ->
+    J.Obj [ ("kind", J.String "shared"); ("aligned", J.Number f) ]
+  | Analysis.Inverted -> J.Obj [ ("kind", J.String "inverted") ]
+
+let report_to_json (r : Analysis.report) =
+  J.Obj
+    [
+      ("feasible", J.Bool r.Analysis.feasible);
+      ( "pairs",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("high", J.String p.Analysis.high.Analysis.label);
+                   ("low", J.String p.Analysis.low.Analysis.label);
+                   ( "required",
+                     J.String
+                       (match p.Analysis.required with
+                       | `Strict -> "strict"
+                       | `Prefer -> "prefer"
+                       | `Share -> "share") );
+                   ("actual", relation_to_json p.Analysis.actual);
+                   ("satisfied", J.Bool p.Analysis.satisfied);
+                 ])
+             r.Analysis.pairs) );
+      ("violations", J.List (List.map (fun v -> J.String v) r.Analysis.violations));
+    ]
+
+let spec_to_json ~tenants ~policy =
+  J.Obj
+    [
+      ("tenants", J.List (List.map tenant_to_json tenants));
+      ("policy", policy_to_json policy);
+    ]
+
+let spec_of_json json =
+  let* tenant_items = field "tenants" json ~conv:J.to_list ~what:"spec" in
+  let* tenants =
+    List.fold_right
+      (fun item acc ->
+        let* acc = acc in
+        let* t = tenant_of_json item in
+        Ok (t :: acc))
+      tenant_items (Ok [])
+  in
+  let* policy_json =
+    match J.member "policy" json with
+    | Some p -> Ok p
+    | None -> Error "missing field \"policy\" in spec"
+  in
+  let* policy = policy_of_json policy_json in
+  Ok (tenants, policy)

@@ -1,0 +1,29 @@
+(** JSON serialization of control-plane artifacts.
+
+    A production hypervisor exchanges its configuration and its decisions
+    with orchestration systems; this module gives every control-plane
+    object a stable JSON form: tenants and policies round-trip, and
+    synthesized plans / analysis reports / latency bounds export (they are
+    re-derivable from the inputs, so no importer is provided for them). *)
+
+val tenant_to_json : Tenant.t -> Engine.Json.t
+
+val tenant_of_json : Engine.Json.t -> (Tenant.t, string) result
+
+val policy_to_json : Policy.t -> Engine.Json.t
+(** Encoded as the operator-syntax string (the canonical form). *)
+
+val policy_of_json : Engine.Json.t -> (Policy.t, string) result
+
+val transform_to_json : Transform.t -> Engine.Json.t
+
+val plan_to_json : Synthesizer.plan -> Engine.Json.t
+(** Policy, rank space, and per-tenant band + transformation. *)
+
+val report_to_json : Analysis.report -> Engine.Json.t
+
+val spec_to_json : tenants:Tenant.t list -> policy:Policy.t -> Engine.Json.t
+(** The full input specification: what an operator would persist. *)
+
+val spec_of_json :
+  Engine.Json.t -> (Tenant.t list * Policy.t, string) result

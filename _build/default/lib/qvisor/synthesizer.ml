@@ -1,0 +1,171 @@
+type band = { lo : int; hi : int }
+
+type assignment = { tenant : Tenant.t; band : band; transform : Transform.t }
+
+type plan = {
+  policy : Policy.t;
+  rank_lo : int;
+  rank_hi : int;
+  assignments : assignment list;
+  fallback : Transform.t;
+}
+
+type config = {
+  rank_lo : int;
+  rank_hi : int;
+  levels : int option;
+  prefer_bias : float;
+}
+
+let default_config =
+  { rank_lo = 0; rank_hi = 65535; levels = None; prefer_bias = 0.5 }
+
+let rec tenant_count = function
+  | Policy.Tenant _ -> 1
+  | Policy.Share l | Policy.Prefer l | Policy.Strict l ->
+    List.fold_left (fun acc n -> acc + tenant_count n) 0 l
+
+let width b = b.hi - b.lo + 1
+
+(* One tenant mapped onto a band: normalize its declared raw range onto
+   the band, quantized to the configured number of levels. *)
+let assign config tenants_by_name name band =
+  let tenant = List.assoc name tenants_by_name in
+  let levels =
+    let full = width band in
+    match config.levels with None -> full | Some l -> min l full
+  in
+  let transform =
+    Transform.normalize
+      ~src:(tenant.Tenant.rank_lo, tenant.Tenant.rank_hi)
+      ~dst:(band.lo, band.hi) ~levels ()
+  in
+  { tenant; band; transform }
+
+(* Weighted member of a share group: weight w compresses the member into
+   the top (best) 1/w of the band. *)
+let share_band band weight =
+  let w = width band in
+  let span = max 1 (int_of_float (Float.round (float_of_int w /. weight))) in
+  { band with hi = min band.hi (band.lo + span - 1) }
+
+(* Split a band into disjoint tiers with widths proportional to tenant
+   counts (at least one rank per tenant). *)
+let split_strict band counts =
+  let total = List.fold_left ( + ) 0 counts in
+  let w = width band in
+  let rec go lo remaining_counts remaining_total acc =
+    match remaining_counts with
+    | [] -> List.rev acc
+    | [ _last ] -> List.rev ({ lo; hi = band.hi } :: acc)
+    | c :: rest ->
+      let share = max c (w * c / total) in
+      let hi = min band.hi (lo + share - 1) in
+      go (hi + 1) rest (remaining_total - c) ({ lo; hi } :: acc)
+  in
+  go band.lo counts total []
+
+let rec allocate config tenants_by_name node band =
+  match node with
+  | Policy.Tenant name -> [ assign config tenants_by_name name band ]
+  | Policy.Share members ->
+    List.concat_map
+      (fun member ->
+        match member with
+        | Policy.Tenant name ->
+          let tenant = List.assoc name tenants_by_name in
+          let sub = share_band band tenant.Tenant.weight in
+          [ assign config tenants_by_name name sub ]
+        | _ ->
+          (* The grammar only nests atoms under '+', but stay total. *)
+          allocate config tenants_by_name member band)
+      members
+  | Policy.Prefer groups ->
+    let n = List.length groups in
+    let step =
+      if n <= 1 then 0
+      else
+        int_of_float (config.prefer_bias *. float_of_int (width band))
+        / n
+    in
+    List.concat
+      (List.mapi
+         (fun i g ->
+           let lo = min band.hi (band.lo + (i * step)) in
+           allocate config tenants_by_name g { lo; hi = band.hi })
+         groups)
+  | Policy.Strict tiers ->
+    let counts = List.map tenant_count tiers in
+    let bands = split_strict band counts in
+    List.concat (List.map2 (allocate config tenants_by_name) tiers bands)
+
+let synthesize ?(config = default_config) ~tenants ~policy () =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    if config.rank_lo > config.rank_hi then Error "empty rank space"
+    else if config.prefer_bias <= 0. || config.prefer_bias > 1. then
+      Error "prefer_bias outside (0, 1]"
+    else Ok ()
+  in
+  let known = List.map (fun t -> t.Tenant.name) tenants in
+  let* () =
+    if List.length (List.sort_uniq compare known) <> List.length known then
+      Error "duplicate tenant names"
+    else Ok ()
+  in
+  let* () = Policy.validate policy ~known in
+  let* () =
+    let ids = List.map (fun t -> t.Tenant.id) tenants in
+    if List.length (List.sort_uniq compare ids) <> List.length ids then
+      Error "duplicate tenant ids"
+    else Ok ()
+  in
+  let* () =
+    let needed = List.length tenants in
+    if config.rank_hi - config.rank_lo + 1 < needed then
+      Error "rank space narrower than the tenant count"
+    else Ok ()
+  in
+  let tenants_by_name = List.map (fun t -> (t.Tenant.name, t)) tenants in
+  let root_band = { lo = config.rank_lo; hi = config.rank_hi } in
+  let assignments =
+    allocate config tenants_by_name policy root_band
+    |> List.sort (fun a b -> compare a.tenant.Tenant.id b.tenant.Tenant.id)
+  in
+  let fallback =
+    Transform.normalize ~src:(0, 1) ~dst:(config.rank_hi, config.rank_hi)
+      ~levels:1 ()
+  in
+  Ok
+    {
+      policy;
+      rank_lo = config.rank_lo;
+      rank_hi = config.rank_hi;
+      assignments;
+      fallback;
+    }
+
+let synthesize_exn ?config ~tenants ~policy () =
+  match synthesize ?config ~tenants ~policy () with
+  | Ok plan -> plan
+  | Error e -> invalid_arg ("Synthesizer.synthesize: " ^ e)
+
+let find plan ~tenant_id =
+  List.find_opt (fun a -> a.tenant.Tenant.id = tenant_id) plan.assignments
+
+let transform_of plan ~tenant_id =
+  match find plan ~tenant_id with
+  | Some a -> a.transform
+  | None -> plan.fallback
+
+let band_of plan ~tenant_id = Option.map (fun a -> a.band) (find plan ~tenant_id)
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "@[<v>policy: %a@,rank space: [%d,%d]" Policy.pp
+    plan.policy plan.rank_lo plan.rank_hi;
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "@,%s -> band [%d,%d] via %a" a.tenant.Tenant.name
+        a.band.lo a.band.hi Transform.pp a.transform)
+    plan.assignments;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,71 @@
+(** The control-plane synthesizer (§3.2).
+
+    Given the tenants' scheduling specifications and the operator's policy,
+    the synthesizer produces a {e joint scheduling function}: one rank
+    transformation per tenant, built from rank-shift and
+    rank-normalization primitives, such that scheduling all transformed
+    ranks in a single PIFO realizes the per-tenant policies under the
+    operator's constraints.
+
+    Band allocation over the global rank space [\[rank_lo, rank_hi\]]:
+
+    - [>>] partitions the current band into disjoint sub-bands (widths
+      proportional to the number of tenants in each tier) — even a
+      worst-case rank of a higher tier beats the best rank of a lower
+      tier, which is exactly the paper's isolation-by-shifting argument;
+    - [>] gives successive groups bands whose {e start} is pushed down by
+      [prefer_bias] of the band width but whose {e end} stays put — the
+      preferred group wins head-to-head comparisons, later groups can
+      still compete (best-effort);
+    - [+] gives every member the same band, normalized per member; a
+      member with weight [w] is compressed into the top [1/w] of the band,
+      biasing the share in its favour. *)
+
+type band = { lo : int; hi : int }
+
+type assignment = {
+  tenant : Tenant.t;
+  band : band;
+  transform : Transform.t;
+}
+
+type plan = {
+  policy : Policy.t;
+  rank_lo : int;
+  rank_hi : int;
+  assignments : assignment list;  (** ordered by tenant id *)
+  fallback : Transform.t;
+      (** applied to packets of tenants absent from the plan: parks them
+          at the worst rank so strangers cannot jump the queue *)
+}
+
+type config = {
+  rank_lo : int;  (** bottom of the joint rank space *)
+  rank_hi : int;  (** top of the joint rank space *)
+  levels : int option;
+      (** quantization levels per tenant ([None]: full band resolution) *)
+  prefer_bias : float;
+      (** fraction of a band by which [>] pushes down successive groups
+          (0 < bias <= 1, default 0.5) *)
+}
+
+val default_config : config
+(** [{rank_lo = 0; rank_hi = 65535; levels = None; prefer_bias = 0.5}] —
+    a 16-bit rank space, as on programmable hardware. *)
+
+val synthesize :
+  ?config:config -> tenants:Tenant.t list -> policy:Policy.t -> unit ->
+  (plan, string) result
+(** Build the joint scheduling function.  Fails (with a message) when the
+    policy names unknown tenants, misses tenants, repeats a tenant, tenant
+    ids collide, or the rank space is too narrow for the tenant count. *)
+
+val synthesize_exn :
+  ?config:config -> tenants:Tenant.t list -> policy:Policy.t -> unit -> plan
+
+val transform_of : plan -> tenant_id:int -> Transform.t
+(** The transformation for a tenant id ([fallback] when absent). *)
+
+val band_of : plan -> tenant_id:int -> band option
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,1 @@
+lib/sched/aifo.ml: Array Packet Qdisc Queue

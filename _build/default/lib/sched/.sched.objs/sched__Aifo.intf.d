@@ -1,0 +1,1 @@
+lib/sched/aifo.mli: Qdisc

@@ -1,0 +1,1 @@
+lib/sched/calendar_queue.ml: Array Packet Qdisc Queue

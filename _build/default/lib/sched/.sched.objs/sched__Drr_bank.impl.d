@@ -1,0 +1,1 @@
+lib/sched/drr_bank.ml: Array Packet Qdisc Queue

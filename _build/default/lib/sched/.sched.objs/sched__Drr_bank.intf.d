@@ -1,0 +1,1 @@
+lib/sched/drr_bank.mli: Packet Qdisc

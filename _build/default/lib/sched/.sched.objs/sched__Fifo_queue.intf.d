@@ -1,0 +1,1 @@
+lib/sched/fifo_queue.mli: Qdisc

@@ -1,0 +1,1 @@
+lib/sched/pifo_queue.ml: Map Option Packet Qdisc

@@ -1,0 +1,1 @@
+lib/sched/pifo_tree.ml: Array Float List Map Option Packet Qdisc

@@ -1,0 +1,1 @@
+lib/sched/pifo_tree.mli: Packet Qdisc

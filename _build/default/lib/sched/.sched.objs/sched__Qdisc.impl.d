@@ -1,0 +1,1 @@
+lib/sched/qdisc.ml: Format List Packet

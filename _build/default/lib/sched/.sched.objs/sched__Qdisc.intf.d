@@ -1,0 +1,1 @@
+lib/sched/qdisc.mli: Format Packet

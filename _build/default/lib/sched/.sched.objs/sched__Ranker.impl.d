@@ -1,0 +1,1 @@
+lib/sched/ranker.ml: Float Hashtbl List Option Packet Printf String

@@ -1,0 +1,1 @@
+lib/sched/ranker.mli: Packet

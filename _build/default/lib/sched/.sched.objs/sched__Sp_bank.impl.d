@@ -1,0 +1,1 @@
+lib/sched/sp_bank.ml: Array Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/sched/sp_bank.mli: Packet Qdisc

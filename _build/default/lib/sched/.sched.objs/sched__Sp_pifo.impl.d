@@ -1,0 +1,1 @@
+lib/sched/sp_pifo.ml: Array Packet Qdisc Queue

@@ -1,0 +1,1 @@
+lib/sched/sp_pifo.mli: Qdisc

@@ -1,0 +1,67 @@
+let create ?(name = "aifo") ?window ?(k = 0.1) ~capacity_pkts () =
+  if capacity_pkts <= 0 then invalid_arg "Aifo.create: capacity <= 0";
+  if k < 0. || k >= 1. then invalid_arg "Aifo.create: k outside [0,1)";
+  let window_size =
+    match window with
+    | Some w when w <= 0 -> invalid_arg "Aifo.create: window <= 0"
+    | Some w -> w
+    | None -> 8 * capacity_pkts
+  in
+  let q : Packet.t Queue.t = Queue.create () in
+  (* Circular buffer of recent ranks (admitted or not), as in the paper's
+     data-plane design. *)
+  let ranks = Array.make window_size 0 in
+  let filled = ref 0 in
+  let cursor = ref 0 in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let observe r =
+    ranks.(!cursor) <- r;
+    cursor := (!cursor + 1) mod window_size;
+    if !filled < window_size then incr filled
+  in
+  let quantile_below r =
+    if !filled = 0 then 0.
+    else begin
+      let below = ref 0 in
+      for i = 0 to !filled - 1 do
+        if ranks.(i) < r then incr below
+      done;
+      float_of_int !below /. float_of_int !filled
+    end
+  in
+  let enqueue p =
+    let r = p.Packet.rank in
+    let occupancy = Queue.length q in
+    let headroom =
+      float_of_int (capacity_pkts - occupancy) /. float_of_int capacity_pkts
+    in
+    let threshold = headroom /. (1. -. k) in
+    let admit = occupancy < capacity_pkts && quantile_below r <= threshold in
+    observe r;
+    if admit then begin
+      Queue.push p q;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+    else begin
+      incr drops;
+      [ p ]
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some p ->
+      bytes := !bytes - p.Packet.size;
+      Some p
+  in
+  {
+    Qdisc.name;
+    enqueue;
+    dequeue;
+    peek = (fun () -> Queue.peek_opt q);
+    length = (fun () -> Queue.length q);
+    bytes = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

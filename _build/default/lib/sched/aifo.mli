@@ -1,0 +1,19 @@
+(** AIFO (Yu et al., SIGCOMM 2021): approximating PIFO behaviour with a
+    single FIFO queue plus rank-aware admission control.
+
+    A sliding window of recent packet ranks estimates the rank
+    distribution; an arrival with rank [r] is admitted only if the fraction
+    of recent ranks smaller than [r] does not exceed the remaining queue
+    headroom (scaled by the burst-tolerance parameter [k]).  Admitted
+    packets are served FIFO. *)
+
+val create :
+  ?name:string ->
+  ?window:int ->
+  ?k:float ->
+  capacity_pkts:int ->
+  unit ->
+  Qdisc.t
+(** [window] defaults to [8 * capacity_pkts] samples; [k] (burst
+    tolerance) defaults to [0.1] and must lie in [\[0, 1)].
+    @raise Invalid_argument on bad parameters. *)

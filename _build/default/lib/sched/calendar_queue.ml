@@ -1,0 +1,66 @@
+let create_with_day ?(name = "calendar") ~num_buckets ~bucket_width
+    ~capacity_pkts () =
+  if num_buckets <= 0 then invalid_arg "Calendar_queue: num_buckets <= 0";
+  if bucket_width <= 0 then invalid_arg "Calendar_queue: bucket_width <= 0";
+  if capacity_pkts <= 0 then invalid_arg "Calendar_queue: capacity <= 0";
+  let buckets : Packet.t Queue.t array =
+    Array.init num_buckets (fun _ -> Queue.create ())
+  in
+  let head = ref 0 in
+  let day_rank = ref 0 in
+  let count = ref 0 in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let enqueue p =
+    if !count >= capacity_pkts then begin
+      incr drops;
+      [ p ]
+    end
+    else begin
+      let offset = max 0 ((p.Packet.rank - !day_rank) / bucket_width) in
+      let slot = min offset (num_buckets - 1) in
+      Queue.push p buckets.((!head + slot) mod num_buckets);
+      incr count;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+  in
+  let rec rotate_to_nonempty () =
+    if Queue.is_empty buckets.(!head) then begin
+      head := (!head + 1) mod num_buckets;
+      day_rank := !day_rank + bucket_width;
+      rotate_to_nonempty ()
+    end
+  in
+  let dequeue () =
+    if !count = 0 then None
+    else begin
+      rotate_to_nonempty ();
+      let p = Queue.pop buckets.(!head) in
+      decr count;
+      bytes := !bytes - p.Packet.size;
+      Some p
+    end
+  in
+  let peek () =
+    if !count = 0 then None
+    else begin
+      rotate_to_nonempty ();
+      Queue.peek_opt buckets.(!head)
+    end
+  in
+  let qdisc =
+    {
+      Qdisc.name;
+      enqueue;
+      dequeue;
+      peek;
+      length = (fun () -> !count);
+      bytes = (fun () -> !bytes);
+      drops = (fun () -> !drops);
+    }
+  in
+  (qdisc, fun () -> !day_rank)
+
+let create ?name ~num_buckets ~bucket_width ~capacity_pkts () =
+  fst (create_with_day ?name ~num_buckets ~bucket_width ~capacity_pkts ())

@@ -1,0 +1,29 @@
+(** Calendar queue scheduling (Sharma et al., NSDI 2020: "Programmable
+    Calendar Queues") — approximating rank order with a ring of FIFO
+    buckets that rotate as time (rank space) advances.
+
+    A packet of rank [r] lands in the bucket covering
+    [\[r / width\]] {e days} from now, clamped to the ring's horizon.
+    Dequeue serves the current day until it is empty, then rotates.
+    Unlike a PIFO, ranks within one bucket are served FIFO, and a rank
+    further than [num_buckets * width] away aliases into the last bucket
+    — the fidelity/cost trade-off programmable calendar queues make. *)
+
+val create :
+  ?name:string ->
+  num_buckets:int ->
+  bucket_width:int ->
+  capacity_pkts:int ->
+  unit ->
+  Qdisc.t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val create_with_day :
+  ?name:string ->
+  num_buckets:int ->
+  bucket_width:int ->
+  capacity_pkts:int ->
+  unit ->
+  Qdisc.t * (unit -> int)
+(** Like {!create} but also exposes the current day (the rank floor the
+    ring has rotated to), for tests. *)

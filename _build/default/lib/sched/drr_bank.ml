@@ -1,0 +1,101 @@
+let create ?(name = "drr-bank") ?weights ~num_queues ~queue_capacity_pkts
+    ~quantum_bytes ~classify () =
+  if num_queues <= 0 then invalid_arg "Drr_bank.create: num_queues <= 0";
+  if queue_capacity_pkts <= 0 then invalid_arg "Drr_bank.create: capacity <= 0";
+  if quantum_bytes <= 0 then invalid_arg "Drr_bank.create: quantum <= 0";
+  let weights =
+    match weights with
+    | None -> Array.make num_queues 1.0
+    | Some w ->
+      if Array.length w <> num_queues then
+        invalid_arg "Drr_bank.create: weights length mismatch";
+      Array.iter
+        (fun x -> if x <= 0. then invalid_arg "Drr_bank.create: weight <= 0")
+        w;
+      w
+  in
+  let queues = Array.init num_queues (fun _ -> Queue.create ()) in
+  let deficit = Array.make num_queues 0. in
+  (* Whether the queue has received its quantum in the current visit. *)
+  let credited = Array.make num_queues false in
+  let current = ref 0 in
+  let count = ref 0 in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let enqueue p =
+    let i = max 0 (min (num_queues - 1) (classify p)) in
+    if Queue.length queues.(i) >= queue_capacity_pkts then begin
+      incr drops;
+      [ p ]
+    end
+    else begin
+      Queue.push p queues.(i);
+      incr count;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+  in
+  let advance () =
+    credited.(!current) <- false;
+    current := (!current + 1) mod num_queues
+  in
+  let dequeue () =
+    if !count = 0 then None
+    else begin
+      (* Bounded by the rounds needed for the deficit to cover the head
+         packet, which is finite since quanta accumulate. *)
+      let rec serve () =
+        let i = !current in
+        if Queue.is_empty queues.(i) then begin
+          deficit.(i) <- 0.;
+          advance ();
+          serve ()
+        end
+        else begin
+          if not credited.(i) then begin
+            deficit.(i) <-
+              deficit.(i) +. (float_of_int quantum_bytes *. weights.(i));
+            credited.(i) <- true
+          end;
+          let head = Queue.peek queues.(i) in
+          if float_of_int head.Packet.size <= deficit.(i) then begin
+            let p = Queue.pop queues.(i) in
+            deficit.(i) <- deficit.(i) -. float_of_int p.Packet.size;
+            decr count;
+            bytes := !bytes - p.Packet.size;
+            if Queue.is_empty queues.(i) then begin
+              deficit.(i) <- 0.;
+              advance ()
+            end;
+            Some p
+          end
+          else begin
+            advance ();
+            serve ()
+          end
+        end
+      in
+      serve ()
+    end
+  in
+  let peek () =
+    if !count = 0 then None
+    else begin
+      let rec find i steps =
+        if steps >= num_queues then None
+        else if Queue.is_empty queues.(i) then
+          find ((i + 1) mod num_queues) (steps + 1)
+        else Queue.peek_opt queues.(i)
+      in
+      find !current 0
+    end
+  in
+  {
+    Qdisc.name;
+    enqueue;
+    dequeue;
+    peek;
+    length = (fun () -> !count);
+    bytes = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

@@ -1,0 +1,21 @@
+(** Deficit round robin (Shreedhar & Varghese, SIGCOMM 1995) over a bank
+    of FIFO queues — the classic fair-queuing discipline of commodity
+    switches, byte-accurate across variable packet sizes.
+
+    Each queue accumulates [quantum * weight] bytes of credit per round
+    and transmits head packets while credit lasts.  Used as a deployment
+    substrate for [+]-heavy policies where per-queue fairness matters
+    more than rank fidelity. *)
+
+val create :
+  ?name:string ->
+  ?weights:float array ->
+  num_queues:int ->
+  queue_capacity_pkts:int ->
+  quantum_bytes:int ->
+  classify:(Packet.t -> int) ->
+  unit ->
+  Qdisc.t
+(** [weights] defaults to all-1.0 and must have length [num_queues] with
+    positive entries.  [classify] results are clamped into range.
+    @raise Invalid_argument on non-positive sizes or bad weights. *)

@@ -1,0 +1,32 @@
+let create ?(name = "fifo") ~capacity_pkts () =
+  if capacity_pkts <= 0 then invalid_arg "Fifo_queue.create: capacity <= 0";
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let enqueue p =
+    if Queue.length q >= capacity_pkts then begin
+      incr drops;
+      [ p ]
+    end
+    else begin
+      Queue.push p q;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some p ->
+      bytes := !bytes - p.Packet.size;
+      Some p
+  in
+  {
+    Qdisc.name;
+    enqueue;
+    dequeue;
+    peek = (fun () -> Queue.peek_opt q);
+    length = (fun () -> Queue.length q);
+    bytes = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

@@ -1,0 +1,59 @@
+type kind = Data | Ack
+
+type t = {
+  uid : int;
+  kind : kind;
+  flow : int;
+  tenant : int;
+  src : int;
+  dst : int;
+  size : int;
+  seq : int;
+  payload : int;
+  remaining : int;
+  deadline : float;
+  created_at : float;
+  mutable label : int;
+  mutable rank : int;
+  mutable enqueued_at : float;
+}
+
+let header_bytes = 58
+
+let uid_counter = ref 0
+
+let reset_uid_counter () = uid_counter := 0
+
+let make ?(kind = Data) ?(tenant = 0) ?(src = 0) ?(dst = 0) ?(seq = 0) ?payload
+    ?remaining ?(deadline = infinity) ?(created_at = 0.) ?(rank = 0) ~flow
+    ~size () =
+  let payload =
+    match payload with Some p -> p | None -> max 0 (size - header_bytes)
+  in
+  let remaining = match remaining with Some r -> r | None -> payload in
+  incr uid_counter;
+  {
+    uid = !uid_counter;
+    kind;
+    flow;
+    tenant;
+    src;
+    dst;
+    size;
+    seq;
+    payload;
+    remaining;
+    deadline;
+    created_at;
+    label = rank;
+    rank;
+    enqueued_at = created_at;
+  }
+
+let compare_rank a b =
+  let c = compare a.rank b.rank in
+  if c <> 0 then c else compare a.uid b.uid
+
+let pp ppf p =
+  Format.fprintf ppf "pkt#%d(flow=%d tenant=%d rank=%d size=%dB)" p.uid p.flow
+    p.tenant p.rank p.size

@@ -1,0 +1,68 @@
+(* Packets are kept in a map keyed by (rank, uid).  Uids increase with
+   arrival order, so the minimum binding is the next packet to serve (rank
+   order, FIFO among equals) and the maximum binding is the eviction victim
+   (worst rank, most recent arrival among equals). *)
+
+module Key = struct
+  type t = int * int
+
+  let compare (r1, u1) (r2, u2) =
+    let c = compare r1 r2 in
+    if c <> 0 then c else compare u1 u2
+end
+
+module PMap = Map.Make (Key)
+
+let create ?(name = "pifo") ~capacity_pkts () =
+  if capacity_pkts <= 0 then invalid_arg "Pifo_queue.create: capacity <= 0";
+  let store = ref PMap.empty in
+  let count = ref 0 in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let insert p =
+    store := PMap.add (p.Packet.rank, p.Packet.uid) p !store;
+    incr count;
+    bytes := !bytes + p.Packet.size
+  in
+  let remove key p =
+    store := PMap.remove key !store;
+    decr count;
+    bytes := !bytes - p.Packet.size
+  in
+  let enqueue p =
+    if !count < capacity_pkts then begin
+      insert p;
+      []
+    end
+    else begin
+      let (worst_key, worst) = PMap.max_binding !store in
+      if p.Packet.rank >= worst.Packet.rank then begin
+        (* The arrival is no better than the current worst: tail-drop it. *)
+        incr drops;
+        [ p ]
+      end
+      else begin
+        remove worst_key worst;
+        insert p;
+        incr drops;
+        [ worst ]
+      end
+    end
+  in
+  let dequeue () =
+    match PMap.min_binding_opt !store with
+    | None -> None
+    | Some (key, p) ->
+      remove key p;
+      Some p
+  in
+  let peek () = Option.map snd (PMap.min_binding_opt !store) in
+  {
+    Qdisc.name;
+    enqueue;
+    dequeue;
+    peek;
+    length = (fun () -> !count);
+    bytes = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

@@ -1,0 +1,12 @@
+(** PIFO (push-in first-out) queue — the ideal programmable scheduler
+    abstraction (Sivaraman et al., SIGCOMM 2016) that QVISOR presents to
+    tenants.
+
+    Packets are dequeued in non-decreasing rank order; ties are served in
+    arrival order (FIFO).  When the queue is full, the lowest-priority
+    packet loses: if the arrival's rank is no better than the current worst,
+    the arrival is dropped, otherwise the worst-ranked (most recently
+    arrived among equals) queued packet is evicted to make room. *)
+
+val create : ?name:string -> capacity_pkts:int -> unit -> Qdisc.t
+(** @raise Invalid_argument if [capacity_pkts <= 0]. *)

@@ -1,0 +1,193 @@
+(* Specification trees (what the user builds)... *)
+
+type tree =
+  | Leaf of (Packet.t -> int)
+  | Strict of tree list
+  | Wfq of (tree * float) list
+
+let leaf ?rank_of () =
+  let rank_of = Option.value rank_of ~default:(fun p -> p.Packet.rank) in
+  Leaf rank_of
+
+let strict children =
+  if children = [] then invalid_arg "Pifo_tree.strict: no children";
+  Strict children
+
+let wfq children =
+  if children = [] then invalid_arg "Pifo_tree.wfq: no children";
+  List.iter
+    (fun (_, w) -> if w <= 0. then invalid_arg "Pifo_tree.wfq: weight <= 0")
+    children;
+  Wfq children
+
+let rec num_leaves = function
+  | Leaf _ -> 1
+  | Strict children -> List.fold_left (fun a c -> a + num_leaves c) 0 children
+  | Wfq children ->
+    List.fold_left (fun a (c, _) -> a + num_leaves c) 0 children
+
+(* ... and the compiled runtime representation: a mini-PIFO per node.
+   Each mini-PIFO is a map keyed by (rank, arrival seq) so equal ranks
+   serve FIFO. *)
+
+module Key = struct
+  type t = int * int
+
+  let compare (r1, s1) (r2, s2) =
+    let c = compare r1 r2 in
+    if c <> 0 then c else compare s1 s2
+end
+
+module PMap = Map.Make (Key)
+
+type 'a mini_pifo = { mutable store : 'a PMap.t; mutable seq : int }
+
+let mini_create () = { store = PMap.empty; seq = 0 }
+
+let mini_push mp ~rank v =
+  mp.store <- PMap.add (rank, mp.seq) v mp.store;
+  mp.seq <- mp.seq + 1
+
+let mini_pop mp =
+  match PMap.min_binding_opt mp.store with
+  | None -> None
+  | Some (((rank, _) as key), v) ->
+    mp.store <- PMap.remove key mp.store;
+    Some (rank, v)
+
+type cnode =
+  | CLeaf of { rank_of : Packet.t -> int; pifo : Packet.t mini_pifo }
+  | CInner of {
+      children : cnode array;
+      child_rank : int -> Packet.t -> int;
+          (* rank of child [i]'s entry when packet [p] descends *)
+      on_pop : int -> unit; (* virtual-clock feedback (WFQ) *)
+      pifo : int mini_pifo; (* holds child indices *)
+    }
+
+(* Compile the spec tree, assigning leaf indices depth-first, and record
+   for each leaf the root-to-leaf path as (node, child-index) pairs. *)
+let compile tree =
+  let paths = ref [] in
+  let rec build prefix = function
+    | Leaf rank_of ->
+      let node = CLeaf { rank_of; pifo = mini_create () } in
+      paths := List.rev prefix :: !paths;
+      (node, fun _ -> ())
+    | Strict children ->
+      build_inner prefix (Array.of_list children)
+        ~child_rank:(fun i _ -> i)
+        ~on_pop:(fun _ -> ())
+    | Wfq children ->
+      let arr = Array.of_list children in
+      let weights = Array.map snd arr in
+      let finish = Array.make (Array.length arr) 0. in
+      let vt = ref 0. in
+      let child_rank i (p : Packet.t) =
+        let start = Float.max !vt finish.(i) in
+        finish.(i) <- start +. (float_of_int p.Packet.size /. weights.(i));
+        int_of_float start
+      in
+      let on_pop rank = vt := Float.max !vt (float_of_int rank) in
+      build_inner prefix (Array.map fst arr) ~child_rank ~on_pop
+  and build_inner prefix children ~child_rank ~on_pop =
+    let pifo = mini_create () in
+    let placeholder = [||] in
+    let rec_node = ref (CInner { children = placeholder; child_rank; on_pop; pifo }) in
+    (* Build children with path entries referring to this node; the node
+       record is created after the children, so thread a forward cell. *)
+    let compiled =
+      Array.mapi
+        (fun i child -> fst (build ((rec_node, i) :: prefix) child))
+        children
+    in
+    let node = CInner { children = compiled; child_rank; on_pop; pifo } in
+    rec_node := node;
+    (node, fun _ -> ())
+  in
+  let root, _ = build [] tree in
+  (* Paths were collected with forward cells; resolve them now. *)
+  let resolved =
+    List.rev_map (List.map (fun (cell, i) -> (!cell, i))) !paths
+  in
+  (root, Array.of_list resolved)
+
+let rec pop_node = function
+  | CLeaf l -> (
+    match mini_pop l.pifo with
+    | None -> None
+    | Some (_, p) -> Some p)
+  | CInner n -> (
+    match mini_pop n.pifo with
+    | None -> None
+    | Some (rank, child_index) ->
+      n.on_pop rank;
+      pop_node n.children.(child_index))
+
+let to_qdisc ?(name = "pifo-tree") ~classify ~capacity_pkts tree =
+  if capacity_pkts <= 0 then invalid_arg "Pifo_tree.to_qdisc: capacity <= 0";
+  let root, paths = compile tree in
+  let leaves = Array.length paths in
+  let count = ref 0 in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let enqueue (p : Packet.t) =
+    if !count >= capacity_pkts then begin
+      incr drops;
+      [ p ]
+    end
+    else begin
+      let leaf_index = max 0 (min (leaves - 1) (classify p)) in
+      List.iter
+        (fun (node, child_index) ->
+          match node with
+          | CInner n ->
+            mini_push n.pifo ~rank:(n.child_rank child_index p) child_index
+          | CLeaf _ -> assert false)
+        paths.(leaf_index);
+      (* The leaf itself is the last node on the path's spine; find it by
+         walking from the root via the recorded child indices. *)
+      let rec leaf_of node = function
+        | [] -> node
+        | (_, i) :: rest -> (
+          match node with
+          | CInner n -> leaf_of n.children.(i) rest
+          | CLeaf _ -> node)
+      in
+      (match leaf_of root paths.(leaf_index) with
+      | CLeaf l -> mini_push l.pifo ~rank:(l.rank_of p) p
+      | CInner _ -> assert false);
+      incr count;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+  in
+  let dequeue () =
+    match pop_node root with
+    | None -> None
+    | Some p ->
+      decr count;
+      bytes := !bytes - p.Packet.size;
+      Some p
+  in
+  let peek () =
+    (* Non-destructive peek is not required by the fabric; emulate by
+       inspecting the root chain without popping. *)
+    let rec peek_node = function
+      | CLeaf l -> Option.map snd (PMap.min_binding_opt l.pifo.store)
+      | CInner n -> (
+        match PMap.min_binding_opt n.pifo.store with
+        | None -> None
+        | Some (_, child_index) -> peek_node n.children.(child_index))
+    in
+    peek_node root
+  in
+  {
+    Qdisc.name;
+    enqueue;
+    dequeue;
+    peek;
+    length = (fun () -> !count);
+    bytes = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

@@ -1,0 +1,45 @@
+(** PIFO trees (Sivaraman et al., SIGCOMM 2016) — hierarchical
+    programmable scheduling.
+
+    A scheduling tree has a PIFO at every node.  Enqueuing a packet walks
+    the tree from the root to the packet's leaf: at each internal node an
+    entry for the taken child is pushed into that node's PIFO with a rank
+    computed by the node's scheduling discipline; at the leaf the packet
+    itself is pushed with its own rank.  Dequeuing pops the root PIFO to
+    learn which subtree to serve and recurses.  This realizes hierarchical
+    policies — e.g. weighted fairness {e between} tenant subtrees while
+    each tenant runs its own algorithm {e within} its leaf — which is the
+    "PIFO trees / higher expressivity" extension of the paper's §5.
+
+    Node disciplines provided here:
+    - {!leaf}: schedules packets by their (already computed) rank;
+    - {!strict}: serves children in fixed priority order;
+    - {!wfq}: start-time fair queueing across children with weights. *)
+
+type tree
+
+val leaf : ?rank_of:(Packet.t -> int) -> unit -> tree
+(** A leaf.  [rank_of] defaults to the packet's current [rank] field. *)
+
+val strict : tree list -> tree
+(** Strict priority across children, first child highest.
+    @raise Invalid_argument on an empty list. *)
+
+val wfq : (tree * float) list -> tree
+(** Weighted fair queueing across children (node-local STFQ on bytes:
+    child virtual finish times advance by [size /. weight]).
+    @raise Invalid_argument on an empty list or non-positive weights. *)
+
+val num_leaves : tree -> int
+
+val to_qdisc :
+  ?name:string ->
+  classify:(Packet.t -> int) ->
+  capacity_pkts:int ->
+  tree ->
+  Qdisc.t
+(** Build the queue discipline.  [classify] maps a packet to a leaf index
+    (leaves are numbered left to right, depth first, starting at 0);
+    out-of-range results are clamped.  Total occupancy is bounded by
+    [capacity_pkts] with tail drop.
+    @raise Invalid_argument if [capacity_pkts <= 0]. *)

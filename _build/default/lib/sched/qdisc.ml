@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  enqueue : Packet.t -> Packet.t list;
+  dequeue : unit -> Packet.t option;
+  peek : unit -> Packet.t option;
+  length : unit -> int;
+  bytes : unit -> int;
+  drops : unit -> int;
+}
+
+let accepted _q p dropped = not (List.exists (fun d -> d.Packet.uid = p.Packet.uid) dropped)
+
+let drain q =
+  let rec loop acc =
+    match q.dequeue () with None -> List.rev acc | Some p -> loop (p :: acc)
+  in
+  loop []
+
+let pp ppf q =
+  Format.fprintf ppf "%s[len=%d bytes=%d drops=%d]" q.name (q.length ())
+    (q.bytes ()) (q.drops ())

@@ -1,0 +1,30 @@
+(** Queue disciplines as first-class values.
+
+    A discipline is a record of closures over hidden state.  This lets a
+    switch port swap its discipline at runtime (needed for QVISOR's runtime
+    re-synthesis experiments) and lets heterogeneous banks mix disciplines,
+    which a functor-based encoding would make awkward. *)
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> Packet.t list;
+      (** Offer a packet.  Returns the packets dropped by the operation —
+          possibly the offered packet itself (tail drop), possibly queued
+          packets evicted to make room (PIFO worst-rank eviction), or [[]]
+          when everything fit. *)
+  dequeue : unit -> Packet.t option;
+      (** Remove the packet the discipline schedules next. *)
+  peek : unit -> Packet.t option;
+  length : unit -> int;  (** queued packets *)
+  bytes : unit -> int;  (** queued bytes *)
+  drops : unit -> int;  (** cumulative packets dropped by enqueue *)
+}
+
+val accepted : t -> Packet.t -> Packet.t list -> bool
+(** [accepted q p dropped] is [true] when packet [p] survived the enqueue
+    that returned [dropped] (i.e. [p] is not among the dropped). *)
+
+val drain : t -> Packet.t list
+(** Dequeue everything, in service order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+let create ?(name = "sp-bank") ~num_queues ~queue_capacity_pkts ~classify () =
+  if num_queues <= 0 then invalid_arg "Sp_bank.create: num_queues <= 0";
+  if queue_capacity_pkts <= 0 then invalid_arg "Sp_bank.create: capacity <= 0";
+  let queues = Array.init num_queues (fun _ -> Queue.create ()) in
+  let bytes = ref 0 in
+  let count = ref 0 in
+  let drops = ref 0 in
+  let enqueue p =
+    let i = max 0 (min (num_queues - 1) (classify p)) in
+    if Queue.length queues.(i) >= queue_capacity_pkts then begin
+      incr drops;
+      [ p ]
+    end
+    else begin
+      Queue.push p queues.(i);
+      incr count;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+  in
+  let first_nonempty () =
+    let rec find i =
+      if i >= num_queues then None
+      else if Queue.is_empty queues.(i) then find (i + 1)
+      else Some i
+    in
+    find 0
+  in
+  let dequeue () =
+    match first_nonempty () with
+    | None -> None
+    | Some i ->
+      let p = Queue.pop queues.(i) in
+      decr count;
+      bytes := !bytes - p.Packet.size;
+      Some p
+  in
+  let peek () =
+    match first_nonempty () with
+    | None -> None
+    | Some i -> Queue.peek_opt queues.(i)
+  in
+  {
+    Qdisc.name;
+    enqueue;
+    dequeue;
+    peek;
+    length = (fun () -> !count);
+    bytes = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }
+
+let queue_of_rank ~bounds r =
+  let n = Array.length bounds in
+  let rec find i = if i >= n - 1 then n - 1 else if bounds.(i) >= r then i else find (i + 1) in
+  if n = 0 then 0 else find 0

@@ -1,0 +1,22 @@
+(** A bank of strict-priority FIFO queues — the scheduling hardware that
+    commodity switches actually provide (§3.4 of the paper).
+
+    A classifier maps each arriving packet to a queue index; queue 0 has the
+    highest priority.  Dequeue serves the lowest-index non-empty queue.
+    Each queue tail-drops independently. *)
+
+val create :
+  ?name:string ->
+  num_queues:int ->
+  queue_capacity_pkts:int ->
+  classify:(Packet.t -> int) ->
+  unit ->
+  Qdisc.t
+(** [classify] results are clamped into [\[0, num_queues)].
+    @raise Invalid_argument if [num_queues <= 0] or
+    [queue_capacity_pkts <= 0]. *)
+
+val queue_of_rank : bounds:int array -> int -> int
+(** Helper for rank-range classifiers: [queue_of_rank ~bounds r] is the
+    index of the first queue whose upper bound is [>= r]; ranks above the
+    last bound map to the last queue.  [bounds] must be non-decreasing. *)

@@ -1,0 +1,77 @@
+let create_with_bounds ?(name = "sp-pifo") ~num_queues ~queue_capacity_pkts () =
+  if num_queues <= 0 then invalid_arg "Sp_pifo.create: num_queues <= 0";
+  if queue_capacity_pkts <= 0 then invalid_arg "Sp_pifo.create: capacity <= 0";
+  let queues = Array.init num_queues (fun _ -> Queue.create ()) in
+  let bounds = Array.make num_queues 0 in
+  let bytes = ref 0 in
+  let count = ref 0 in
+  let drops = ref 0 in
+  let push i p =
+    if Queue.length queues.(i) >= queue_capacity_pkts then begin
+      incr drops;
+      [ p ]
+    end
+    else begin
+      Queue.push p queues.(i);
+      incr count;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+  in
+  let enqueue p =
+    let r = p.Packet.rank in
+    (* Bottom-up scan: first queue (from lowest priority) whose bound <= r. *)
+    let rec scan i =
+      if i < 0 then begin
+        (* Inversion: r is smaller than every bound.  Push-down. *)
+        let cost = bounds.(0) - r in
+        for j = 0 to num_queues - 1 do
+          bounds.(j) <- bounds.(j) - cost
+        done;
+        push 0 p
+      end
+      else if bounds.(i) <= r then begin
+        bounds.(i) <- r;
+        push i p
+      end
+      else scan (i - 1)
+    in
+    scan (num_queues - 1)
+  in
+  let first_nonempty () =
+    let rec find i =
+      if i >= num_queues then None
+      else if Queue.is_empty queues.(i) then find (i + 1)
+      else Some i
+    in
+    find 0
+  in
+  let dequeue () =
+    match first_nonempty () with
+    | None -> None
+    | Some i ->
+      let p = Queue.pop queues.(i) in
+      decr count;
+      bytes := !bytes - p.Packet.size;
+      Some p
+  in
+  let peek () =
+    match first_nonempty () with
+    | None -> None
+    | Some i -> Queue.peek_opt queues.(i)
+  in
+  let qdisc =
+    {
+      Qdisc.name;
+      enqueue;
+      dequeue;
+      peek;
+      length = (fun () -> !count);
+      bytes = (fun () -> !bytes);
+      drops = (fun () -> !drops);
+    }
+  in
+  (qdisc, fun () -> Array.copy bounds)
+
+let create ?name ~num_queues ~queue_capacity_pkts () =
+  fst (create_with_bounds ?name ~num_queues ~queue_capacity_pkts ())

@@ -1,0 +1,27 @@
+(** SP-PIFO (Gran Alcoz et al., NSDI 2020): approximating a PIFO on a bank
+    of strict-priority FIFO queues with adaptive per-queue rank bounds.
+
+    Arriving packets scan the queues bottom-up (lowest priority first) and
+    enter the first queue whose bound does not exceed their rank; the bound
+    is then raised to the rank ("push-up").  A packet smaller than every
+    bound enters the highest-priority queue and all bounds decrease by the
+    inversion cost ("push-down").  This is the mechanism the QVISOR paper
+    cites for running on existing switches. *)
+
+val create :
+  ?name:string ->
+  num_queues:int ->
+  queue_capacity_pkts:int ->
+  unit ->
+  Qdisc.t
+(** @raise Invalid_argument if [num_queues <= 0] or
+    [queue_capacity_pkts <= 0]. *)
+
+val create_with_bounds :
+  ?name:string ->
+  num_queues:int ->
+  queue_capacity_pkts:int ->
+  unit ->
+  Qdisc.t * (unit -> int array)
+(** Like {!create} but also returns an inspector for the current queue
+    bounds (used in tests and the deployment-fidelity ablation). *)

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Float Format Fun Gen List Option Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Filename Float Fun In_channel List Out_channel Printf Result String Sys

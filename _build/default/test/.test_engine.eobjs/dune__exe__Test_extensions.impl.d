@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Engine Experiments Float Hashtbl List Netsim Option Printf Qvisor Result Sched

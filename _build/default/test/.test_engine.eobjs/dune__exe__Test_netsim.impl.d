@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Engine Filename Float Fun Hashtbl List Netsim Option Printf Sched Sys

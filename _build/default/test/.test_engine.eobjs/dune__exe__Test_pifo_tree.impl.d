@@ -1,0 +1,1 @@
+test/test_pifo_tree.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Qvisor Result Sched

@@ -1,0 +1,1 @@
+test/test_pifo_tree.mli:

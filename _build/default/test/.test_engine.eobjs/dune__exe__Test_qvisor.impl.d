@@ -1,0 +1,1 @@
+test/test_qvisor.ml: Alcotest Array Engine Format List Option Printf QCheck QCheck_alcotest Qvisor Result Sched String

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Engine Gen List Option Printf QCheck QCheck_alcotest Sched

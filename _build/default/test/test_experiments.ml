@@ -1,0 +1,235 @@
+(* Tests for the experiment harness: the Fig. 4 runner's invariants
+   (determinism, scheme coverage), the CSV exporter, and cross-scheme
+   sanity properties that mirror the paper's claims at CI scale. *)
+
+let tiny_params =
+  {
+    Experiments.Fig4.quick with
+    Experiments.Fig4.duration = 0.04;
+    warmup = 0.01;
+    drain = 0.2;
+    load = 0.5;
+  }
+
+let run scheme = Experiments.Fig4.run tiny_params scheme
+
+(* ------------------------------------------------------------------ *)
+(* Harness invariants                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic_runs () =
+  let a = run (Experiments.Fig4.Qvisor_policy "pfabric >> edf") in
+  let b = run (Experiments.Fig4.Qvisor_policy "pfabric >> edf") in
+  Alcotest.(check (float 0.)) "identical small FCT"
+    a.Experiments.Fig4.small_mean_ms b.Experiments.Fig4.small_mean_ms;
+  Alcotest.(check (float 0.)) "identical large FCT"
+    a.Experiments.Fig4.large_mean_ms b.Experiments.Fig4.large_mean_ms;
+  Alcotest.(check int) "identical drops" a.Experiments.Fig4.drops
+    b.Experiments.Fig4.drops
+
+let test_seed_changes_runs () =
+  let a = run Experiments.Fig4.Pifo_pfabric_only in
+  let b =
+    Experiments.Fig4.run
+      { tiny_params with Experiments.Fig4.seed = 2 }
+      Experiments.Fig4.Pifo_pfabric_only
+  in
+  Alcotest.(check bool) "different seeds differ" true
+    (a.Experiments.Fig4.flows_started <> b.Experiments.Fig4.flows_started
+    || a.Experiments.Fig4.small_mean_ms <> b.Experiments.Fig4.small_mean_ms)
+
+let test_all_schemes_run () =
+  List.iter
+    (fun scheme ->
+      let r = run scheme in
+      Alcotest.(check bool)
+        (Experiments.Fig4.scheme_name scheme ^ " completed flows")
+        true
+        (r.Experiments.Fig4.flows_completed > 0))
+    Experiments.Fig4.paper_schemes
+
+let test_ideal_has_no_cbr () =
+  let r = run Experiments.Fig4.Pifo_pfabric_only in
+  Alcotest.(check bool) "no CBR stats in the ideal" true
+    (Float.is_nan r.Experiments.Fig4.cbr_deadline_fraction);
+  let r' = run Experiments.Fig4.Fifo_both in
+  Alcotest.(check bool) "CBR present otherwise" true
+    (not (Float.is_nan r'.Experiments.Fig4.cbr_deadline_fraction))
+
+let test_qvisor_tracks_ideal () =
+  (* The paper's headline at CI scale: pfabric >> edf within 25% of the
+     ideal on large flows; edf >> pfabric at least 3x worse than ideal on
+     small flows. *)
+  let ideal = run Experiments.Fig4.Pifo_pfabric_only in
+  let good = run (Experiments.Fig4.Qvisor_policy "pfabric >> edf") in
+  let bad = run (Experiments.Fig4.Qvisor_policy "edf >> pfabric") in
+  let ratio =
+    good.Experiments.Fig4.large_mean_ms /. ideal.Experiments.Fig4.large_mean_ms
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pfabric>>edf / ideal = %.3f" ratio)
+    true
+    (ratio < 1.25);
+  Alcotest.(check bool) "edf>>pfabric hurts small flows" true
+    (bad.Experiments.Fig4.small_mean_ms
+    > 3. *. ideal.Experiments.Fig4.small_mean_ms)
+
+let test_tree_backend_runs () =
+  let r =
+    Experiments.Fig4.run
+      { tiny_params with Experiments.Fig4.tree_backend = true }
+      (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
+  in
+  Alcotest.(check bool) "tree backend completes flows" true
+    (r.Experiments.Fig4.flows_completed > 0)
+
+(* ------------------------------------------------------------------ *)
+(* CSV export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_result =
+  {
+    Experiments.Fig4.scheme = "QVISOR: \"quoted\"";
+    load = 0.5;
+    small_mean_ms = 0.123456;
+    small_p99_ms = 1.0;
+    large_mean_ms = nan;
+    large_p99_ms = nan;
+    overall_mean_ms = 2.5;
+    flows_started = 10;
+    flows_completed = 9;
+    drops = 42;
+    cbr_deadline_fraction = 0.75;
+  }
+
+let test_csv_header_matches_row_arity () =
+  let header_cols =
+    List.length (String.split_on_char ',' Experiments.Export.fig4_header)
+  in
+  Alcotest.(check int) "11 columns" 11 header_cols;
+  (* The quoted scheme contains no comma, so arity is directly checkable. *)
+  let row_cols =
+    List.length (String.split_on_char ',' (Experiments.Export.fig4_row sample_result))
+  in
+  Alcotest.(check int) "row arity" header_cols row_cols
+
+let test_csv_nan_is_empty () =
+  let row = Experiments.Export.fig4_row sample_result in
+  Alcotest.(check bool) "nan serializes empty" true
+    (let parts = String.split_on_char ',' row in
+     List.nth parts 4 = "" && List.nth parts 5 = "")
+
+let test_csv_quotes_escaped () =
+  let row = Experiments.Export.fig4_row sample_result in
+  Alcotest.(check bool) "embedded quotes doubled" true
+    (String.length row > 0
+    &&
+    let prefix = "\"QVISOR: \"\"quoted\"\"\"" in
+    String.length row >= String.length prefix
+    && String.sub row 0 (String.length prefix) = prefix)
+
+let test_csv_save_and_shape () =
+  let path = Filename.temp_file "qvisor_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Experiments.Export.save_fig4 path [ sample_result; sample_result ];
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+      Alcotest.(check string) "header first" Experiments.Export.fig4_header
+        (List.hd lines))
+
+(* ------------------------------------------------------------------ *)
+(* Config files                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_round_trip () =
+  let params =
+    {
+      Experiments.Fig4.default with
+      Experiments.Fig4.leaves = 5;
+      load = 0.65;
+      levels = Some 64;
+      rto = 2e-3;
+    }
+  in
+  match Experiments.Config.parse (Experiments.Config.to_string params) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok parsed ->
+    Alcotest.(check int) "leaves" 5 parsed.Experiments.Fig4.leaves;
+    Alcotest.(check (float 1e-9)) "load" 0.65 parsed.Experiments.Fig4.load;
+    Alcotest.(check (float 1e-9)) "rto" 2e-3 parsed.Experiments.Fig4.rto;
+    Alcotest.(check bool) "levels" true
+      (parsed.Experiments.Fig4.levels = Some 64)
+
+let test_config_defaults_and_comments () =
+  match
+    Experiments.Config.parse "# just a comment
+
+load = 0.3   # inline
+"
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok p ->
+    Alcotest.(check (float 1e-9)) "load set" 0.3 p.Experiments.Fig4.load;
+    Alcotest.(check int) "others defaulted"
+      Experiments.Fig4.default.Experiments.Fig4.leaves
+      p.Experiments.Fig4.leaves
+
+let test_config_errors () =
+  let is_error text =
+    Result.is_error (Experiments.Config.parse text)
+  in
+  Alcotest.(check bool) "unknown key" true (is_error "loda = 0.3
+");
+  Alcotest.(check bool) "bad value" true (is_error "leaves = many
+");
+  Alcotest.(check bool) "no equals" true (is_error "leaves 3
+")
+
+let test_config_load_file () =
+  let path = Filename.temp_file "qvisor_cfg" ".conf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "seed = 9
+duration = 0.01
+");
+      match Experiments.Config.load path with
+      | Ok p ->
+        Alcotest.(check int) "seed" 9 p.Experiments.Fig4.seed;
+        Alcotest.(check (float 1e-9)) "duration" 0.01 p.Experiments.Fig4.duration
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "fig4_harness",
+        [
+          Alcotest.test_case "deterministic" `Slow test_deterministic_runs;
+          Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_runs;
+          Alcotest.test_case "all schemes run" `Slow test_all_schemes_run;
+          Alcotest.test_case "ideal has no CBR" `Slow test_ideal_has_no_cbr;
+          Alcotest.test_case "qvisor tracks ideal" `Slow test_qvisor_tracks_ideal;
+          Alcotest.test_case "tree backend" `Slow test_tree_backend_runs;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "round trip" `Quick test_config_round_trip;
+          Alcotest.test_case "defaults+comments" `Quick test_config_defaults_and_comments;
+          Alcotest.test_case "errors" `Quick test_config_errors;
+          Alcotest.test_case "load file" `Quick test_config_load_file;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "header arity" `Quick test_csv_header_matches_row_arity;
+          Alcotest.test_case "nan empty" `Quick test_csv_nan_is_empty;
+          Alcotest.test_case "quotes escaped" `Quick test_csv_quotes_escaped;
+          Alcotest.test_case "save+shape" `Quick test_csv_save_and_shape;
+        ] );
+    ]
