@@ -155,6 +155,39 @@ let test_analysis =
   Test.make ~name:"analysis/check-plan"
     (Staged.stage (fun () -> ignore (Qvisor.Analysis.check plan)))
 
+let test_telemetry_counter =
+  let tel = Engine.Telemetry.create () in
+  let c = Engine.Telemetry.counter tel "bench.counter" in
+  Test.make ~name:"telemetry/counter-incr"
+    (Staged.stage (fun () -> Engine.Telemetry.Counter.incr c))
+
+let test_telemetry_counter_disabled =
+  (* The disabled registry hands out inert handles: this measures the
+     cost instrumented code pays when telemetry is off. *)
+  let c = Engine.Telemetry.counter Engine.Telemetry.disabled "bench.counter" in
+  Test.make ~name:"telemetry/counter-incr-disabled"
+    (Staged.stage (fun () -> Engine.Telemetry.Counter.incr c))
+
+let test_telemetry_histogram =
+  let tel = Engine.Telemetry.create () in
+  let h = Engine.Telemetry.histogram tel "bench.histogram" in
+  let x = ref 0. in
+  Test.make ~name:"telemetry/histogram-observe"
+    (Staged.stage (fun () ->
+         x := !x +. 1.;
+         Engine.Telemetry.Histogram.observe h !x))
+
+let test_telemetry_instrumented_preprocessor =
+  (* fig3/preprocessor-per-packet with a live registry attached: the
+     delta against the uninstrumented test is the observability tax. *)
+  let tel = Engine.Telemetry.create () in
+  let pre = Qvisor.Preprocessor.of_plan ~telemetry:tel (fig3_plan ()) in
+  let packet = Sched.Packet.make ~tenant:1 ~rank:100 ~flow:1 ~size:1500 () in
+  Test.make ~name:"telemetry/preprocessor-per-packet"
+    (Staged.stage (fun () ->
+         packet.Sched.Packet.rank <- 100;
+         Qvisor.Preprocessor.process pre packet))
+
 let all_micro =
   Test.make_grouped ~name:"qvisor"
     [
@@ -172,6 +205,10 @@ let all_micro =
       test_ranker_pfabric;
       test_ranker_stfq;
       test_analysis;
+      test_telemetry_counter;
+      test_telemetry_counter_disabled;
+      test_telemetry_histogram;
+      test_telemetry_instrumented_preprocessor;
     ]
 
 let run_micro () =
@@ -212,6 +249,18 @@ let run_figures () =
     Experiments.Fig4.sweep params ~loads ~schemes:Experiments.Fig4.paper_schemes
   in
   Format.printf "%a@." Experiments.Fig4.print_fig4 results;
+  (* Engine throughput across the sweep — the discrete-event simulator's
+     own events/sec, from the per-run profiling counters. *)
+  let events, wall =
+    List.fold_left
+      (fun (e, w) r ->
+        ( e + r.Experiments.Fig4.events_fired,
+          w +. r.Experiments.Fig4.wall_seconds ))
+      (0, 0.) results
+  in
+  if wall > 0. then
+    Format.printf "engine: %d events in %.2f s (%.3g events/s)@." events wall
+      (float_of_int events /. wall);
   (* Ablation A1: quantization levels. *)
   Format.printf
     "@.== Ablation A1: quantization levels (QVISOR pfabric + edf, load %.1f) ==@."

@@ -46,10 +46,75 @@ let csv_arg =
   let doc = "Also write the raw series to this CSV file." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+(* --------------------------------------------------------------- *)
+(* Telemetry flags (shared by fig4 / single / churn)               *)
+(* --------------------------------------------------------------- *)
+
+let telemetry_arg =
+  let doc =
+    "Enable the metric registry (per-tenant/per-port counters, queue-depth \
+     and sojourn histograms, pre-processor hit counts) and print its JSON \
+     snapshot on stdout after the results."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a sampled NDJSON packet-event trace (enqueue/dequeue/drop/ \
+     preprocess) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_sample_arg =
+  let doc =
+    "Probability that any given packet event is recorded in the trace \
+     (deterministic for a fixed --seed)."
+  in
+  Arg.(value & opt float 1.0 & info [ "trace-sample" ] ~docv:"RATE" ~doc)
+
+(* Returns the registry to thread through the run (None when both flags
+   are off) and a [finish] closure that flushes the trace and prints the
+   snapshot. *)
+let setup_telemetry ~telemetry ~trace ~trace_sample ~seed =
+  if trace_sample < 0. || trace_sample > 1. then begin
+    Format.eprintf "--trace-sample must be within [0,1] (got %g)@."
+      trace_sample;
+    exit 1
+  end;
+  if (not telemetry) && trace = None then (None, fun () -> ())
+  else begin
+    let tel = Engine.Telemetry.create () in
+    let close_trace =
+      match trace with
+      | None -> fun () -> ()
+      | Some path ->
+        let oc =
+          try open_out path
+          with Sys_error e ->
+            Format.eprintf "cannot write trace: %s@." e;
+            exit 1
+        in
+        Engine.Telemetry.attach_sink tel ~sample:trace_sample ~seed oc;
+        fun () ->
+          Engine.Telemetry.detach_sink tel;
+          close_out oc;
+          progress "wrote %s@." path
+    in
+    ( Some tel,
+      fun () ->
+        let snap = Engine.Telemetry.snapshot tel in
+        close_trace ();
+        if telemetry then
+          print_endline (Engine.Json.to_string ~pretty:true snap) )
+  end
+
 let fig4_cmd =
-  let run scale seed loads csv config =
+  let run scale seed loads csv config telemetry trace trace_sample =
     let params = resolve_params scale config seed in
     let loads = parse_loads loads in
+    let tel, finish_telemetry =
+      setup_telemetry ~telemetry ~trace ~trace_sample ~seed
+    in
     let results =
       List.concat_map
         (fun load ->
@@ -57,20 +122,25 @@ let fig4_cmd =
             (fun scheme ->
               progress "running load %.2f %s...@." load
                 (Experiments.Fig4.scheme_name scheme);
-              Experiments.Fig4.run { params with Experiments.Fig4.load } scheme)
+              Experiments.Fig4.run ?telemetry:tel
+                { params with Experiments.Fig4.load }
+                scheme)
             Experiments.Fig4.paper_schemes)
         loads
     in
     Format.printf "%a@." Experiments.Fig4.print_fig4 results;
-    match csv with
+    (match csv with
     | None -> ()
     | Some path ->
       Experiments.Export.save_fig4 path results;
-      progress "wrote %s@." path
+      progress "wrote %s@." path);
+    finish_telemetry ()
   in
   let doc = "Regenerate Fig. 4 (both panels): pFabric FCT vs load, six schemes." in
   Cmd.v (Cmd.info "fig4" ~doc)
-    Term.(const run $ scale_arg $ seed_arg $ loads_arg $ csv_arg $ config_arg)
+    Term.(
+      const run $ scale_arg $ seed_arg $ loads_arg $ csv_arg $ config_arg
+      $ telemetry_arg $ trace_arg $ trace_sample_arg)
 
 let ablation_quant_cmd =
   let run scale seed =
@@ -164,17 +234,22 @@ let ablation_backend_cmd =
   Cmd.v (Cmd.info "ablation-backend" ~doc) Term.(const run $ scale_arg $ seed_arg)
 
 let churn_cmd =
-  let run seed =
+  let run seed telemetry trace trace_sample =
     let params = { Experiments.Churn.default with Experiments.Churn.seed } in
+    let tel, finish_telemetry =
+      setup_telemetry ~telemetry ~trace ~trace_sample ~seed
+    in
     progress "running churn (naive)...@.";
     let naive = Experiments.Churn.run params ~qvisor:false in
     progress "running churn (qvisor)...@.";
-    let qvisor = Experiments.Churn.run params ~qvisor:true in
+    let qvisor = Experiments.Churn.run ?telemetry:tel params ~qvisor:true in
     Format.printf "%a@.@.%a@." Experiments.Churn.print [ naive; qvisor ]
-      Experiments.Churn.print_activity qvisor
+      Experiments.Churn.print_activity qvisor;
+    finish_telemetry ()
   in
   let doc = "Ablation A3: tenant churn (the paper's Fig. 2 timeline)." in
-  Cmd.v (Cmd.info "churn" ~doc) Term.(const run $ seed_arg)
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(const run $ seed_arg $ telemetry_arg $ trace_arg $ trace_sample_arg)
 
 let single_cmd =
   let scheme_arg =
@@ -188,7 +263,7 @@ let single_cmd =
     let doc = "pFabric tenant load." in
     Arg.(value & opt float 0.5 & info [ "load" ] ~docv:"LOAD" ~doc)
   in
-  let run scale seed scheme load config =
+  let run scale seed scheme load config telemetry trace trace_sample =
     let params =
       { (resolve_params scale config seed) with Experiments.Fig4.load }
     in
@@ -199,10 +274,14 @@ let single_cmd =
       | "pifo-ideal" -> Experiments.Fig4.Pifo_pfabric_only
       | policy -> Experiments.Fig4.Qvisor_policy policy
     in
-    let r = Experiments.Fig4.run params scheme in
+    let tel, finish_telemetry =
+      setup_telemetry ~telemetry ~trace ~trace_sample ~seed
+    in
+    let r = Experiments.Fig4.run ?telemetry:tel params scheme in
     Format.printf
       "@[<v>%s @ load %.2f@,small mean %.3f ms (p99 %.3f)@,large mean %.3f ms \
-       (p99 %.3f)@,completed %d/%d, drops %d, cbr-ok %s@]@."
+       (p99 %.3f)@,completed %d/%d, drops %d, cbr-ok %s@,engine %d events in \
+       %.3f s (%.3g events/s)@]@."
       r.Experiments.Fig4.scheme r.Experiments.Fig4.load
       r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.small_p99_ms
       r.Experiments.Fig4.large_mean_ms r.Experiments.Fig4.large_p99_ms
@@ -210,10 +289,16 @@ let single_cmd =
       r.Experiments.Fig4.drops
       (if Float.is_nan r.Experiments.Fig4.cbr_deadline_fraction then "-"
        else Printf.sprintf "%.3f" r.Experiments.Fig4.cbr_deadline_fraction)
+      r.Experiments.Fig4.events_fired r.Experiments.Fig4.wall_seconds
+      (float_of_int r.Experiments.Fig4.events_fired
+      /. r.Experiments.Fig4.wall_seconds);
+    finish_telemetry ()
   in
   let doc = "Run a single (scheme, load) point." in
   Cmd.v (Cmd.info "single" ~doc)
-    Term.(const run $ scale_arg $ seed_arg $ scheme_arg $ load_arg $ config_arg)
+    Term.(
+      const run $ scale_arg $ seed_arg $ scheme_arg $ load_arg $ config_arg
+      $ telemetry_arg $ trace_arg $ trace_sample_arg)
 
 let validate_cmd =
   let run seed =

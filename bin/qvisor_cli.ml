@@ -98,23 +98,117 @@ let pipeline_arg =
   in
   Arg.(value & flag & info [ "pipeline" ] ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Dry-run the synthesized pre-processor over each tenant's declared rank \
+     range (plus one unknown-tenant packet) and report the telemetry \
+     registry: match-table vs fallback hit counts and the live \
+     rank-approximation error distribution."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "With --telemetry, write the dry-run's per-packet \"preprocess\" events \
+     to $(docv) as NDJSON (the \"t\" field is the packet index — there is \
+     no simulation clock in the control plane)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_sample_arg =
+  let doc = "Probability that a dry-run event is recorded in the trace." in
+  Arg.(value & opt float 1.0 & info [ "trace-sample" ] ~docv:"RATE" ~doc)
+
+(* Cap the per-tenant label sweep so wide rank ranges stay cheap. *)
+let max_sweep_labels = 4096
+
+let telemetry_dry_run tel plan tenants =
+  let pre = Qvisor.Preprocessor.of_plan ~telemetry:tel plan in
+  let seq = ref 0 in
+  let shoot ~tenant ~label =
+    let p = Sched.Packet.make ~tenant ~rank:label ~flow:0 ~size:1500 () in
+    Qvisor.Preprocessor.process pre p;
+    if Engine.Telemetry.tracing tel then
+      Engine.Telemetry.event tel
+        ~time:(float_of_int !seq)
+        ~kind:"preprocess" ~tenant ~rank_before:p.Sched.Packet.label
+        ~rank:p.Sched.Packet.rank ();
+    incr seq
+  in
+  let max_id = ref (-1) in
+  List.iter
+    (fun t ->
+      let lo = t.Qvisor.Tenant.rank_lo and hi = t.Qvisor.Tenant.rank_hi in
+      if t.Qvisor.Tenant.id > !max_id then max_id := t.Qvisor.Tenant.id;
+      let stride = Stdlib.max 1 ((hi - lo + 1) / max_sweep_labels) in
+      let label = ref lo in
+      while !label <= hi do
+        shoot ~tenant:t.Qvisor.Tenant.id ~label:!label;
+        label := !label + stride
+      done)
+    tenants;
+  (* One packet from a tenant the plan does not know: the fallback path. *)
+  shoot ~tenant:(!max_id + 1) ~label:0
+
 let plan_cmd =
-  let run tenant_specs policy_str queues levels json spec_file pipeline =
+  let run tenant_specs policy_str queues levels json spec_file pipeline
+      telemetry trace trace_sample =
     let tenants, policy = resolve_spec spec_file tenant_specs policy_str in
     let config = { Qvisor.Synthesizer.default_config with levels } in
+    (* Exercise the pre-processor and return its registry snapshot (None
+       when telemetry is off). *)
+    if trace_sample < 0. || trace_sample > 1. then begin
+      Format.eprintf "--trace-sample must be within [0,1] (got %g)@."
+        trace_sample;
+      exit 1
+    end;
+    let run_telemetry plan =
+      if (not telemetry) && trace = None then None
+      else begin
+        let tel = Engine.Telemetry.create () in
+        let snap =
+          match trace with
+          | None ->
+            telemetry_dry_run tel plan tenants;
+            Engine.Telemetry.snapshot tel
+          | Some path ->
+            let oc =
+              try open_out path
+              with Sys_error e ->
+                Format.eprintf "cannot write trace: %s@." e;
+                exit 1
+            in
+            Engine.Telemetry.attach_sink tel ~sample:trace_sample oc;
+            telemetry_dry_run tel plan tenants;
+            (* Snapshot before detaching so the trace stats are included. *)
+            let snap = Engine.Telemetry.snapshot tel in
+            Engine.Telemetry.detach_sink tel;
+            close_out oc;
+            Format.eprintf "wrote %s@." path;
+            snap
+        in
+        Some snap
+      end
+    in
     match Qvisor.Synthesizer.synthesize ~config ~tenants ~policy () with
     | Error e ->
       Format.eprintf "synthesis error: %s@." e;
       exit 1
     | Ok plan when json ->
       let report = Qvisor.Analysis.check plan in
+      let telemetry_fields =
+        match run_telemetry plan with
+        | None -> []
+        | Some snap -> [ ("telemetry", snap) ]
+      in
       let payload =
         Engine.Json.Obj
-          [
-            ("spec", Qvisor.Serialize.spec_to_json ~tenants ~policy);
-            ("plan", Qvisor.Serialize.plan_to_json plan);
-            ("analysis", Qvisor.Serialize.report_to_json report);
-          ]
+          ([
+             ("spec", Qvisor.Serialize.spec_to_json ~tenants ~policy);
+             ("plan", Qvisor.Serialize.plan_to_json plan);
+             ("analysis", Qvisor.Serialize.report_to_json report);
+           ]
+          @ telemetry_fields)
       in
       print_endline (Engine.Json.to_string ~pretty:true payload);
       if not report.Qvisor.Analysis.feasible then exit 2
@@ -143,13 +237,20 @@ let plan_cmd =
          | Ok program ->
            Format.printf "@.%a@." Qvisor.Pipeline.pp_program program
          | Error e -> Format.printf "@.pipeline compilation failed: %s@." e);
+      (match run_telemetry plan with
+      | None -> ()
+      | Some snap ->
+        if telemetry then
+          Format.printf "@.telemetry:@.%s@."
+            (Engine.Json.to_string ~pretty:true snap));
       if not report.Qvisor.Analysis.feasible then exit 2
   in
   let doc = "Synthesize a joint scheduling plan and analyze its guarantees." in
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
       const run $ tenants_arg $ policy_arg $ queues_arg $ levels_arg $ json_arg
-      $ spec_file_arg $ pipeline_arg)
+      $ spec_file_arg $ pipeline_arg $ telemetry_arg $ trace_arg
+      $ trace_sample_arg)
 
 let fit_cmd =
   let queues_required =

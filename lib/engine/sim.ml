@@ -1,8 +1,14 @@
 type handle = { mutable live : bool; action : unit -> unit }
 
-type t = { mutable clock : float; queue : handle Event_queue.t }
+type t = {
+  mutable clock : float;
+  queue : handle Event_queue.t;
+  mutable fired : int;
+  mutable busy : float; (* wall-clock seconds spent inside [run] *)
+}
 
-let create () = { clock = 0.; queue = Event_queue.create () }
+let create () =
+  { clock = 0.; queue = Event_queue.create (); fired = 0; busy = 0. }
 
 let now t = t.clock
 
@@ -26,6 +32,7 @@ let fire t time h =
   t.clock <- time;
   if h.live then begin
     h.live <- false;
+    t.fired <- t.fired + 1;
     h.action ()
   end
 
@@ -37,7 +44,8 @@ let step t =
     true
 
 let run ?until t =
-  match until with
+  let started = Unix.gettimeofday () in
+  (match until with
   | None -> while step t do () done
   | Some horizon ->
     let continue = ref true in
@@ -47,6 +55,11 @@ let run ?until t =
       | Some _ | None ->
         t.clock <- max t.clock horizon;
         continue := false
-    done
+    done);
+  t.busy <- t.busy +. (Unix.gettimeofday () -. started)
 
 let pending_events t = Event_queue.size t.queue
+
+let events_fired t = t.fired
+
+let busy_seconds t = t.busy

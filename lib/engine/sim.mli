@@ -39,3 +39,11 @@ val step : t -> bool
 
 val pending_events : t -> int
 (** Number of scheduled (possibly cancelled) events still queued. *)
+
+val events_fired : t -> int
+(** Events whose action actually ran so far (cancelled events excluded) —
+    the denominator-free half of an events/sec figure. *)
+
+val busy_seconds : t -> float
+(** Cumulative wall-clock seconds spent inside [run] calls.  With
+    {!events_fired} this yields the engine's events/sec throughput. *)

@@ -1,0 +1,123 @@
+(** Cross-cutting telemetry: a named metric registry and a sampled
+    structured trace sink.
+
+    Every data-plane component takes an optional registry; the registry is
+    either {e enabled} (metrics are interned by name and accumulate) or the
+    shared {!disabled} value, in which case every handle returned is a
+    detached dummy and every operation degenerates to a single unobserved
+    store — near-zero cost, no branches in callers.
+
+    Four metric kinds cover the repro's needs:
+
+    - {b counters} — monotone event counts (enqueues, drops, table hits);
+    - {b gauges} — last-written values (events fired, wall-clock seconds);
+    - {b histograms} — constant-memory distributions: Welford moments
+      ({!Stats}) plus P² sketches ({!P2_quantile}) for p50/p90/p99;
+    - {b series} — bucketed time series ({!Timeseries}) for rate plots.
+
+    Orthogonally, a registry may carry one {e trace sink}: an NDJSON
+    [out_channel] receiving one JSON object per sampled packet-level event
+    (enqueue / dequeue / drop / preprocess / resynthesis).  Sampling draws
+    from a dedicated {!Rng} stream, so traces are deterministic for a fixed
+    seed.  Line schema (fields absent when not supplied):
+
+    {v {"t":1.25e-3,"ev":"enqueue","link":4,"tenant":0,"flow":7,"rank":311} v} *)
+
+type t
+(** A metric registry (plus optional trace sink). *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] when empty, like {!Stats.mean}. *)
+end
+
+module Series : sig
+  type t
+
+  val record : t -> time:float -> float -> unit
+end
+
+val create : unit -> t
+(** A fresh, enabled registry. *)
+
+val disabled : t
+(** The shared no-op registry: handles created from it are inert dummies,
+    [event] and [attach_sink] do nothing, and [snapshot] is empty. *)
+
+val is_enabled : t -> bool
+
+val counter : t -> string -> Counter.t
+(** Intern (or retrieve) the counter registered under a name.  Two calls
+    with the same name return the same accumulator. *)
+
+val gauge : t -> string -> Gauge.t
+
+val histogram : t -> string -> Histogram.t
+
+val series : t -> ?bucket:float -> string -> Series.t
+(** [bucket] (default [0.01] s) is only used on first interning. *)
+
+(** {1 Trace sink} *)
+
+val attach_sink : t -> ?sample:float -> ?seed:int -> out_channel -> unit
+(** Attach an NDJSON event sink.  [sample] (default [1.0]) is the
+    probability that any given event is written; draws come from a
+    splitmix64 stream seeded with [seed] (default [0]), so the set of
+    sampled events is a deterministic function of the seed.  The channel
+    stays owned by the caller.  Replaces any previous sink.
+    @raise Invalid_argument unless [0. <= sample <= 1.]. *)
+
+val detach_sink : t -> unit
+(** Flush and forget the sink (the channel is not closed). *)
+
+val tracing : t -> bool
+(** [true] when a sink is attached — callers use this to skip building
+    event payloads that would not be written. *)
+
+val event :
+  t ->
+  time:float ->
+  kind:string ->
+  ?link:int ->
+  ?tenant:int ->
+  ?flow:int ->
+  ?rank_before:int ->
+  ?rank:int ->
+  ?extra:(string * Json.t) list ->
+  unit ->
+  unit
+(** Offer one event to the sink: counted, then written as one NDJSON line
+    if the sampler keeps it.  No-op without a sink. *)
+
+val events_seen : t -> int
+(** Events offered to the sink since attach. *)
+
+val events_written : t -> int
+(** Events that survived sampling and were written. *)
+
+(** {1 Export} *)
+
+val snapshot : t -> Json.t
+(** The whole registry as one JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{..},"series":{..},
+      "trace":{..}}], names sorted for stable output.  Empty-histogram
+    moments are [null] rather than NaN so the result always serializes. *)

@@ -36,7 +36,7 @@ let access_rate = 1e9
 
 let fabric_rate = 4e9
 
-let run params ~qvisor =
+let run ?(telemetry = Engine.Telemetry.disabled) params ~qvisor =
   let num_hosts = params.leaves * params.hosts_per_leaf in
   let topo =
     Netsim.Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
@@ -68,7 +68,7 @@ let run params ~qvisor =
           ~policy:(Qvisor.Policy.parse_exn "T1 + T2 >> T3")
           ()
       in
-      let pre = Qvisor.Preprocessor.of_plan plan in
+      let pre = Qvisor.Preprocessor.of_plan ~telemetry plan in
       Some (Qvisor.Preprocessor.process pre)
     end
     else None
@@ -87,7 +87,7 @@ let run params ~qvisor =
   let net =
     Netsim.Net.create ~sim ~topo ~routing
       ~make_qdisc:(fun _ -> Sched.Pifo_queue.create ~capacity_pkts:100 ())
-      ?preprocess ~deliver ()
+      ?preprocess ~telemetry ~deliver ()
   in
   Netsim.Transport.attach transport net;
   (* T1: interactive pFabric traffic for the whole run. *)

@@ -36,7 +36,10 @@ type params = {
 
 val default : params
 
-val run : params -> qvisor:bool -> result
+val run :
+  ?telemetry:Engine.Telemetry.t -> params -> qvisor:bool -> result
+(** [telemetry] (default: off) instruments the fabric ports and — under
+    [~qvisor:true] — the pre-processor. *)
 
 val compare_schemes : params -> result list
 (** Run both and return [naive; qvisor] results. *)

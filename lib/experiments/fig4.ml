@@ -107,6 +107,8 @@ type result = {
   flows_completed : int;
   drops : int;
   cbr_deadline_fraction : float;
+  events_fired : int;
+  wall_seconds : float;
 }
 
 let pfabric_tenant_id = 0
@@ -129,7 +131,7 @@ let qvisor_tenants params =
       ~id:edf_tenant_id ~name:"edf" ();
   ]
 
-let run params scheme =
+let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
   let num_hosts = params.leaves * params.hosts_per_leaf in
   let topo =
     Netsim.Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
@@ -169,7 +171,7 @@ let run params scheme =
           ~policy:(Qvisor.Policy.parse_exn policy_str)
           ()
       in
-      let pre = Qvisor.Preprocessor.of_plan plan in
+      let pre = Qvisor.Preprocessor.of_plan ~telemetry plan in
       let qdisc =
         match params.backend with
         | None -> pifo
@@ -178,7 +180,7 @@ let run params scheme =
       (Some (Qvisor.Preprocessor.process pre), qdisc)
   in
   let net =
-    Netsim.Net.create ~sim ~topo ~routing ~make_qdisc ?preprocess
+    Netsim.Net.create ~sim ~topo ~routing ~make_qdisc ?preprocess ~telemetry
       ~deliver:(Netsim.Transport.deliver transport)
       ()
   in
@@ -217,6 +219,16 @@ let run params scheme =
   in
   Engine.Sim.run ~until:(params.duration +. params.drain) sim;
   ignore !started_measured;
+  let events_fired = Engine.Sim.events_fired sim in
+  let wall_seconds = Engine.Sim.busy_seconds sim in
+  if Engine.Telemetry.is_enabled telemetry then begin
+    Engine.Telemetry.Gauge.set
+      (Engine.Telemetry.gauge telemetry "sim.events_fired")
+      (float_of_int events_fired);
+    Engine.Telemetry.Gauge.set
+      (Engine.Telemetry.gauge telemetry "sim.wall_seconds")
+      wall_seconds
+  end;
   let cbr_deadline_fraction =
     match cbr_stats with
     | [] -> nan
@@ -241,6 +253,8 @@ let run params scheme =
     flows_completed = Netsim.Metrics.completed metrics;
     drops = Netsim.Net.total_drops net;
     cbr_deadline_fraction;
+    events_fired;
+    wall_seconds;
   }
 
 let sweep params ~loads ~schemes =

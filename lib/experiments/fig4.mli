@@ -75,10 +75,16 @@ type result = {
   cbr_deadline_fraction : float;
       (** fraction of CBR packets delivered within deadline ([nan] when
           the scheme carries no CBR tenant) *)
+  events_fired : int;  (** simulator events executed during the run *)
+  wall_seconds : float;
+      (** wall-clock seconds the engine spent draining the event queue —
+          [events_fired / wall_seconds] is the engine's events/sec *)
 }
 
-val run : params -> scheme -> result
-(** Simulate one configuration. *)
+val run : ?telemetry:Engine.Telemetry.t -> params -> scheme -> result
+(** Simulate one configuration.  [telemetry] (default: off) instruments
+    the fabric ports and — for QVISOR schemes — the pre-processor, and
+    records [sim.events_fired] / [sim.wall_seconds] gauges. *)
 
 val sweep : params -> loads:float list -> schemes:scheme list -> result list
 

@@ -15,20 +15,78 @@ type port = {
   bucket : bucket option;
 }
 
+module Tel = Engine.Telemetry
+
+(* Per-tenant counter triple, created lazily the first time a tenant's
+   packet crosses the fabric. *)
+type tenant_counters = {
+  t_enq : Tel.Counter.t;
+  t_deq : Tel.Counter.t;
+  t_drop : Tel.Counter.t;
+}
+
+type instruments = {
+  tel : Tel.t;
+  port_enq : Tel.Counter.t array;
+  port_deq : Tel.Counter.t array;
+  port_drop : Tel.Counter.t array;
+  enq_total : Tel.Counter.t;
+  deq_total : Tel.Counter.t;
+  drop_total : Tel.Counter.t;
+  depth : Tel.Histogram.t; (* queue length (pkts) sampled after enqueue *)
+  sojourn : Tel.Histogram.t; (* seconds from enqueue to start-of-tx *)
+  by_tenant : (int, tenant_counters) Hashtbl.t;
+}
+
 type t = {
   sim : Engine.Sim.t;
   topo : Topology.t;
   routing : Routing.t;
   ports : port array; (* indexed by link id *)
   preprocess : Sched.Packet.t -> unit;
+  has_preprocess : bool;
   on_dequeue : Sched.Packet.t -> unit;
   on_drop : Sched.Packet.t -> unit;
   deliver : Sched.Packet.t -> unit;
+  ins : instruments option;
 }
 
+let make_instruments tel ~num_ports =
+  let per_port what =
+    Array.init num_ports (fun id ->
+        Tel.counter tel (Printf.sprintf "net.port.%d.%s" id what))
+  in
+  {
+    tel;
+    port_enq = per_port "enqueue";
+    port_deq = per_port "dequeue";
+    port_drop = per_port "drop";
+    enq_total = Tel.counter tel "net.enqueue";
+    deq_total = Tel.counter tel "net.dequeue";
+    drop_total = Tel.counter tel "net.drop";
+    depth = Tel.histogram tel "net.queue_depth_pkts";
+    sojourn = Tel.histogram tel "net.sojourn_seconds";
+    by_tenant = Hashtbl.create 8;
+  }
+
+let tenant_counters ins id =
+  match Hashtbl.find_opt ins.by_tenant id with
+  | Some c -> c
+  | None ->
+    let name what = Printf.sprintf "net.tenant.%d.%s" id what in
+    let c =
+      {
+        t_enq = Tel.counter ins.tel (name "enqueue");
+        t_deq = Tel.counter ins.tel (name "dequeue");
+        t_drop = Tel.counter ins.tel (name "drop");
+      }
+    in
+    Hashtbl.add ins.by_tenant id c;
+    c
+
 let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
-    ?(preprocess = fun _ -> ()) ?(on_dequeue = fun _ -> ())
-    ?(on_drop = fun _ -> ()) ~deliver () =
+    ?preprocess ?(on_dequeue = fun _ -> ()) ?(on_drop = fun _ -> ())
+    ?telemetry ~deliver () =
   let ports =
     Array.init (Topology.num_links topo) (fun id ->
         let link = Topology.link topo id in
@@ -50,7 +108,24 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
         in
         { link; qdisc = make_qdisc link; busy = false; tx_bytes = 0; bucket })
   in
-  { sim; topo; routing; ports; preprocess; on_dequeue; on_drop; deliver }
+  let ins =
+    match telemetry with
+    | Some tel when Tel.is_enabled tel ->
+      Some (make_instruments tel ~num_ports:(Array.length ports))
+    | Some _ | None -> None
+  in
+  {
+    sim;
+    topo;
+    routing;
+    ports;
+    preprocess = Option.value preprocess ~default:(fun _ -> ());
+    has_preprocess = preprocess <> None;
+    on_dequeue;
+    on_drop;
+    deliver;
+    ins;
+  }
 
 let refill t bucket =
   let now = Engine.Sim.now t.sim in
@@ -103,6 +178,19 @@ let rec pump t port =
       port.busy <- true;
       port.tx_bytes <- port.tx_bytes + p.Sched.Packet.size;
       t.on_dequeue p;
+      (match t.ins with
+      | None -> ()
+      | Some ins ->
+        let link_id = port.link.Topology.id in
+        let tenant = p.Sched.Packet.tenant in
+        Tel.Counter.incr ins.deq_total;
+        Tel.Counter.incr ins.port_deq.(link_id);
+        Tel.Counter.incr (tenant_counters ins tenant).t_deq;
+        let now = Engine.Sim.now t.sim in
+        Tel.Histogram.observe ins.sojourn (now -. p.Sched.Packet.enqueued_at);
+        if Tel.tracing ins.tel then
+          Tel.event ins.tel ~time:now ~kind:"dequeue" ~link:link_id ~tenant
+            ~flow:p.Sched.Packet.flow ~rank:p.Sched.Packet.rank ());
       let tx_time = 8. *. float_of_int p.Sched.Packet.size /. port.link.Topology.rate in
       let arrival = tx_time +. port.link.Topology.delay in
       ignore
@@ -119,6 +207,35 @@ and enqueue t port p =
   p.Sched.Packet.enqueued_at <- Engine.Sim.now t.sim;
   let dropped = port.qdisc.Sched.Qdisc.enqueue p in
   List.iter t.on_drop dropped;
+  (match t.ins with
+  | None -> ()
+  | Some ins ->
+    let link_id = port.link.Topology.id in
+    let tenant = p.Sched.Packet.tenant in
+    let now = Engine.Sim.now t.sim in
+    Tel.Counter.incr ins.enq_total;
+    Tel.Counter.incr ins.port_enq.(link_id);
+    Tel.Counter.incr (tenant_counters ins tenant).t_enq;
+    Tel.Histogram.observe ins.depth
+      (float_of_int (port.qdisc.Sched.Qdisc.length ()));
+    if Tel.tracing ins.tel then begin
+      if t.has_preprocess then
+        Tel.event ins.tel ~time:now ~kind:"preprocess" ~link:link_id ~tenant
+          ~flow:p.Sched.Packet.flow ~rank_before:p.Sched.Packet.label
+          ~rank:p.Sched.Packet.rank ();
+      Tel.event ins.tel ~time:now ~kind:"enqueue" ~link:link_id ~tenant
+        ~flow:p.Sched.Packet.flow ~rank:p.Sched.Packet.rank ()
+    end;
+    List.iter
+      (fun (d : Sched.Packet.t) ->
+        Tel.Counter.incr ins.drop_total;
+        Tel.Counter.incr ins.port_drop.(link_id);
+        Tel.Counter.incr (tenant_counters ins d.Sched.Packet.tenant).t_drop;
+        if Tel.tracing ins.tel then
+          Tel.event ins.tel ~time:now ~kind:"drop" ~link:link_id
+            ~tenant:d.Sched.Packet.tenant ~flow:d.Sched.Packet.flow
+            ~rank:d.Sched.Packet.rank ())
+      dropped);
   pump t port
 
 and forward t node p =

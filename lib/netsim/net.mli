@@ -34,12 +34,22 @@ val create :
   ?preprocess:(Sched.Packet.t -> unit) ->
   ?on_dequeue:(Sched.Packet.t -> unit) ->
   ?on_drop:(Sched.Packet.t -> unit) ->
+  ?telemetry:Engine.Telemetry.t ->
   deliver:(Sched.Packet.t -> unit) ->
   unit ->
   t
 (** [deliver] fires when a packet reaches its destination host.
     [shaper_of] (default: none anywhere) attaches token-bucket shapers to
     selected ports.
+
+    [telemetry] (default: off) instruments every port: per-port and
+    per-tenant enqueue/dequeue/drop counters ([net.port.<id>.*],
+    [net.tenant.<id>.*], plus [net.enqueue]/[net.dequeue]/[net.drop]
+    aggregates), a queue-depth histogram [net.queue_depth_pkts] sampled
+    after each enqueue, and a sojourn-time histogram [net.sojourn_seconds]
+    observed as packets start transmission.  When the registry carries a
+    trace sink, each enqueue/dequeue/drop — and, if a [preprocess] hook is
+    installed, each rank rewrite — is offered as a sampled NDJSON event.
     @raise Invalid_argument on a shaper with non-positive rate or a burst
     smaller than one full packet (1518 bytes). *)
 

@@ -17,15 +17,32 @@ let to_string specs =
     specs;
   Buffer.contents buf
 
+let is_ws = function ' ' | '\t' | '\r' -> true | _ -> false
+
+(* Split on runs of any whitespace, so tab-separated (or CRLF) trace
+   files parse the same as space-separated ones. *)
+let split_ws s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if is_ws s.[i] then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && not (is_ws s.[!j]) do
+        incr j
+      done;
+      go !j (String.sub s i (!j - i) :: acc)
+    end
+  in
+  go 0 []
+
 let parse_line lineno line =
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let fields =
-    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-  in
+  let fields = split_ws line in
   match fields with
   | [] -> Ok None
   | [ start; src; dst; size; tenant ] -> (

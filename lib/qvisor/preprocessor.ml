@@ -1,9 +1,16 @@
+type instruments = {
+  table_hits : Engine.Telemetry.Counter.t;
+  fallback_hits : Engine.Telemetry.Counter.t;
+  rank_error : Engine.Telemetry.Histogram.t;
+}
+
 type t = {
   mutable table : Transform.t array; (* dense, indexed by tenant id *)
   mutable fallback : Transform.t;
   mutable current : Synthesizer.plan;
   counts : (int, int ref) Hashtbl.t;
   mutable processed : int;
+  ins : instruments option;
 }
 
 let table_of_plan (plan : Synthesizer.plan) =
@@ -18,13 +25,27 @@ let table_of_plan (plan : Synthesizer.plan) =
     plan.Synthesizer.assignments;
   table
 
-let of_plan plan =
+let of_plan ?telemetry plan =
+  let ins =
+    match telemetry with
+    | Some tel when Engine.Telemetry.is_enabled tel ->
+      Some
+        {
+          table_hits = Engine.Telemetry.counter tel "preprocessor.table_hits";
+          fallback_hits =
+            Engine.Telemetry.counter tel "preprocessor.fallback_hits";
+          rank_error =
+            Engine.Telemetry.histogram tel "preprocessor.rank_error";
+        }
+    | Some _ | None -> None
+  in
   {
     table = table_of_plan plan;
     fallback = plan.Synthesizer.fallback;
     current = plan;
     counts = Hashtbl.create 16;
     processed = 0;
+    ins;
   }
 
 let transform_for t ~tenant_id =
@@ -37,7 +58,18 @@ let process_conditioned t ~conditioning (p : Sched.Packet.t) =
   (* Always recomputed from the immutable tenant label, so running the
      pre-processor at every QVISOR hop is idempotent. *)
   let conditioned = Transform.apply conditioning p.Sched.Packet.label in
-  p.Sched.Packet.rank <- Transform.apply (transform_for t ~tenant_id:id) conditioned;
+  let transform = transform_for t ~tenant_id:id in
+  p.Sched.Packet.rank <- Transform.apply transform conditioned;
+  (match t.ins with
+  | None -> ()
+  | Some ins ->
+    let in_table = id >= 0 && id < Array.length t.table in
+    Engine.Telemetry.Counter.incr
+      (if in_table then ins.table_hits else ins.fallback_hits);
+    Engine.Telemetry.Histogram.observe ins.rank_error
+      (Float.abs
+         (float_of_int p.Sched.Packet.rank
+         -. Transform.apply_exact transform conditioned)));
   t.processed <- t.processed + 1;
   match Hashtbl.find_opt t.counts id with
   | Some r -> incr r

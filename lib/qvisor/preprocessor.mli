@@ -9,8 +9,14 @@
 
 type t
 
-val of_plan : Synthesizer.plan -> t
-(** Compile a plan into a line-rate lookup table. *)
+val of_plan : ?telemetry:Engine.Telemetry.t -> Synthesizer.plan -> t
+(** Compile a plan into a line-rate lookup table.
+
+    With [telemetry], every processed packet also feeds three metrics:
+    [preprocessor.table_hits] / [preprocessor.fallback_hits] count
+    match-table entry vs fallback lookups, and [preprocessor.rank_error]
+    is the live distribution of [|applied - ideal|] where {e ideal} is the
+    unquantized real-valued transformation ({!Transform.apply_exact}). *)
 
 val process : t -> Sched.Packet.t -> unit
 (** Compute the packet's scheduling rank from its (immutable) tenant

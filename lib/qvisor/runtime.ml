@@ -22,12 +22,17 @@ type t = {
   pre : Preprocessor.t;
   observations : (int, observation) Hashtbl.t;
   mutable resyntheses : int;
+  tel : Engine.Telemetry.t;
+  clock : unit -> float;
+  resynthesis_count : Engine.Telemetry.Counter.t;
 }
 
 let synthesize_now config tenants policy =
   Synthesizer.synthesize ~config ~tenants ~policy ()
 
-let create ?(config = Synthesizer.default_config) ~tenants ~policy () =
+let create ?(config = Synthesizer.default_config)
+    ?(telemetry = Engine.Telemetry.disabled) ?(clock = fun () -> 0.) ~tenants
+    ~policy () =
   match synthesize_now config tenants policy with
   | Error e -> invalid_arg ("Runtime.create: " ^ e)
   | Ok plan ->
@@ -35,9 +40,12 @@ let create ?(config = Synthesizer.default_config) ~tenants ~policy () =
       config;
       tenants;
       policy;
-      pre = Preprocessor.of_plan plan;
+      pre = Preprocessor.of_plan ~telemetry plan;
       observations = Hashtbl.create 16;
       resyntheses = 0;
+      tel = telemetry;
+      clock;
+      resynthesis_count = Engine.Telemetry.counter telemetry "runtime.resyntheses";
     }
 
 let observe t (p : Sched.Packet.t) =
@@ -86,6 +94,17 @@ let redeploy t tenants policy =
     t.policy <- policy;
     Preprocessor.swap_plan t.pre plan;
     t.resyntheses <- t.resyntheses + 1;
+    Engine.Telemetry.Counter.incr t.resynthesis_count;
+    if Engine.Telemetry.tracing t.tel then
+      Engine.Telemetry.event t.tel ~time:(t.clock ()) ~kind:"resynthesis"
+        ~extra:
+          [
+            ( "tenants",
+              Engine.Json.Number (float_of_int (List.length tenants)) );
+            ( "policy",
+              Engine.Json.String (Policy.to_string policy) );
+          ]
+        ();
     Ok ()
 
 let add_tenant t tenant ?policy () =

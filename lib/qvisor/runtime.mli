@@ -10,12 +10,20 @@ type t
 
 val create :
   ?config:Synthesizer.config ->
+  ?telemetry:Engine.Telemetry.t ->
+  ?clock:(unit -> float) ->
   tenants:Tenant.t list ->
   policy:Policy.t ->
   unit ->
   t
 (** Build the controller, synthesize the initial plan, and compile the
     pre-processor.
+
+    [telemetry] (default: off) is threaded to the pre-processor and
+    counts every successful re-synthesis under [runtime.resyntheses];
+    when the registry carries a trace sink, each re-synthesis is offered
+    as a ["resynthesis"] event stamped with [clock ()] (default [0.] —
+    pass [fun () -> Engine.Sim.now sim] inside a simulation).
     @raise Invalid_argument if the initial synthesis fails. *)
 
 val process : t -> Sched.Packet.t -> unit

@@ -42,6 +42,28 @@ let rec apply t r =
     else dst_lo + (level * (dst_hi - dst_lo) / (levels - 1))
   | Compose (f, g) -> apply g (apply f r)
 
+(* The idealized (real-valued, unquantized) counterpart of [apply]: the
+   same clamp-and-scale geometry, but with exact linear interpolation in
+   place of level quantization and integer division.  The gap between the
+   two is the rank-approximation error telemetry reports. *)
+let rec exactf t x =
+  match t with
+  | Identity -> x
+  | Shift k -> x +. float_of_int k
+  | Normalize { src_lo; src_hi; dst_lo; dst_hi; levels = _ } ->
+    let x =
+      Float.max (float_of_int src_lo) (Float.min (float_of_int src_hi) x)
+    in
+    if src_hi = src_lo then float_of_int dst_lo
+    else
+      float_of_int dst_lo
+      +. (x -. float_of_int src_lo)
+         *. float_of_int (dst_hi - dst_lo)
+         /. float_of_int (src_hi - src_lo)
+  | Compose (f, g) -> exactf g (exactf f x)
+
+let apply_exact t r = exactf t (float_of_int r)
+
 let rec range t (lo, hi) =
   if lo > hi then invalid_arg "Transform.range: empty interval";
   match t with

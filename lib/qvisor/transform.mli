@@ -35,6 +35,13 @@ val compose : t -> t -> t
 val apply : t -> int -> int
 (** Transform one rank. *)
 
+val apply_exact : t -> int -> float
+(** The idealized real-valued transformation: the same clamped affine
+    map, but without level quantization or integer rounding.
+    [|float (apply t r) -. apply_exact t r|] is the rank-approximation
+    error the quantized data path introduces for rank [r] — the
+    distribution telemetry tracks live. *)
+
 val range : t -> int * int -> int * int
 (** Image interval of an input rank interval (interval analysis used by
     the static analyzer).  Both bounds inclusive. *)

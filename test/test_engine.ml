@@ -410,6 +410,51 @@ let test_stats_merge_momentwise () =
   in
   check_close "variance" ~tolerance:1e-9 exact (Engine.Stats.variance m)
 
+let test_stats_merge_momentwise_empty () =
+  (* A fresh accumulator seeds min/max with NaN; merging an empty
+     moment-only side must not let that NaN leak into the result. *)
+  let a = Engine.Stats.create ~keep_samples:false () in
+  let b = Engine.Stats.create ~keep_samples:false () in
+  List.iter (Engine.Stats.add a) [ 2.0; 8.0 ];
+  let m = Engine.Stats.merge a b in
+  Alcotest.(check int) "count" 2 (Engine.Stats.count m);
+  check_float "mean" 5.0 (Engine.Stats.mean m);
+  check_float "min survives" 2.0 (Engine.Stats.min m);
+  check_float "max survives" 8.0 (Engine.Stats.max m);
+  let m' = Engine.Stats.merge b a in
+  check_float "min (empty first)" 2.0 (Engine.Stats.min m');
+  check_float "max (empty first)" 8.0 (Engine.Stats.max m');
+  let e = Engine.Stats.merge b (Engine.Stats.create ~keep_samples:false ()) in
+  Alcotest.(check int) "empty count" 0 (Engine.Stats.count e);
+  Alcotest.(check bool) "empty mean nan" true
+    (Float.is_nan (Engine.Stats.mean e))
+
+let prop_stats_merge_moments_match_samples =
+  (* The closed-form moment merge must agree with re-adding every sample. *)
+  QCheck.Test.make ~name:"moment-only merge agrees with sample merge"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 60) (float_bound_inclusive 1e3))
+        (list_of_size (Gen.int_range 0 60) (float_bound_inclusive 1e3)))
+    (fun (xs, ys) ->
+      let fill keep vals =
+        let s = Engine.Stats.create ~keep_samples:keep () in
+        List.iter (Engine.Stats.add s) vals;
+        s
+      in
+      let mm = Engine.Stats.merge (fill false xs) (fill false ys) in
+      let sm = Engine.Stats.merge (fill true xs) (fill true ys) in
+      let close a b =
+        (Float.is_nan a && Float.is_nan b)
+        || abs_float (a -. b) <= 1e-6 *. (1. +. abs_float b)
+      in
+      Engine.Stats.count mm = Engine.Stats.count sm
+      && close (Engine.Stats.mean mm) (Engine.Stats.mean sm)
+      && close (Engine.Stats.variance mm) (Engine.Stats.variance sm)
+      && close (Engine.Stats.min mm) (Engine.Stats.min sm)
+      && close (Engine.Stats.max mm) (Engine.Stats.max sm))
+
 let prop_stats_mean_matches_naive =
   QCheck.Test.make ~name:"stats mean matches naive sum/n" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 200) (float_bound_inclusive 1e6))
@@ -497,6 +542,22 @@ let test_ts_rate () =
   (match Engine.Timeseries.rate ts with
   | [ (_, r) ] -> check_float "rate = sum / width" 200. r
   | _ -> Alcotest.fail "expected one bucket")
+
+let test_ts_rate_multi_bucket () =
+  (* Rates across several buckets, including an empty gap bucket. *)
+  let ts = Engine.Timeseries.create ~bucket:0.5 () in
+  Engine.Timeseries.add ts ~time:0.1 100.;
+  Engine.Timeseries.add ts ~time:0.3 100.;
+  Engine.Timeseries.add ts ~time:0.6 25.;
+  Engine.Timeseries.add ts ~time:1.6 50.;
+  match Engine.Timeseries.rate ts with
+  | [ (t0, r0); (_, r1); (_, r2); (_, r3) ] ->
+    check_float "first bucket start" 0. t0;
+    check_float "bucket 0 rate" 400. r0;
+    check_float "bucket 1 rate" 50. r1;
+    check_float "gap bucket rate" 0. r2;
+    check_float "bucket 3 rate" 100. r3
+  | l -> Alcotest.failf "expected four buckets, got %d" (List.length l)
 
 let test_ts_empty () =
   let ts = Engine.Timeseries.create ~bucket:1.0 () in
@@ -676,6 +737,9 @@ let () =
           Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "merge momentwise" `Quick test_stats_merge_momentwise;
+          Alcotest.test_case "merge momentwise empty" `Quick
+            test_stats_merge_momentwise_empty;
+          qc prop_stats_merge_moments_match_samples;
           qc prop_stats_mean_matches_naive;
           qc prop_stats_minmax;
         ] );
@@ -683,6 +747,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_ts_basic;
           Alcotest.test_case "rate" `Quick test_ts_rate;
+          Alcotest.test_case "rate multi-bucket" `Quick test_ts_rate_multi_bucket;
           Alcotest.test_case "empty" `Quick test_ts_empty;
           Alcotest.test_case "invalid" `Quick test_ts_invalid;
           Alcotest.test_case "out of order" `Quick test_ts_out_of_order;

@@ -100,6 +100,8 @@ let sample_result =
     flows_completed = 9;
     drops = 42;
     cbr_deadline_fraction = 0.75;
+    events_fired = 1000;
+    wall_seconds = 0.5;
   }
 
 let test_csv_header_matches_row_arity () =

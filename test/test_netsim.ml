@@ -717,6 +717,20 @@ let test_trace_parse_errors () =
   Alcotest.(check bool) "comments and blanks ok" false
     (is_error "# header\n\n0.1 0 1 100 0\n")
 
+let test_trace_parse_tabs () =
+  (* Fields may be separated by any run of blanks — tabs included, as in
+     traces exported from spreadsheets or TSV tooling. *)
+  match
+    Netsim.Trace.of_string "0.001\t0\t3\t10000\t0\n0.002  1\t2  500 1\n"
+  with
+  | Ok [ a; b ] ->
+    Alcotest.(check int) "tab src" 0 a.Netsim.Trace.src;
+    Alcotest.(check int) "tab size" 10_000 a.Netsim.Trace.size;
+    Alcotest.(check int) "mixed dst" 2 b.Netsim.Trace.dst;
+    Alcotest.(check int) "mixed tenant" 1 b.Netsim.Trace.tenant
+  | Ok l -> Alcotest.failf "expected 2 specs, got %d" (List.length l)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
 let test_trace_save_load () =
   let path = Filename.temp_file "qvisor_trace" ".txt" in
   Fun.protect
@@ -891,6 +905,7 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_trace_round_trip;
           Alcotest.test_case "parse errors" `Quick test_trace_parse_errors;
+          Alcotest.test_case "parse tabs" `Quick test_trace_parse_tabs;
           Alcotest.test_case "save/load" `Quick test_trace_save_load;
           Alcotest.test_case "synthesize sorted" `Quick test_trace_synthesize_sorted;
           Alcotest.test_case "replay runs" `Quick test_trace_replay_runs;
