@@ -12,9 +12,14 @@
       ablations at CI scale, printing the same rows/series the paper
       reports.  The full-scale sweep lives in `bin/experiments.exe`.
 
+   3. Parallel scaling — the quick Fig. 4 sweep timed at 1/2/4/8 worker
+      domains, verifying the merged results are identical at every
+      worker count (see Engine.Parallel).
+
    Run everything:        dune exec bench/main.exe
    Only micro-benches:    dune exec bench/main.exe -- micro
-   Only figures:          dune exec bench/main.exe -- figures *)
+   Only figures:          dune exec bench/main.exe -- figures
+   Only scaling:          dune exec bench/main.exe -- scaling *)
 
 open Bechamel
 open Toolkit
@@ -239,6 +244,10 @@ let run_micro () =
 (* Figure regeneration (CI scale)                                     *)
 (* ------------------------------------------------------------------ *)
 
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Qvisor.Error.to_string e)
+
 let run_figures () =
   let params = Experiments.Fig4.quick in
   let loads = [ 0.2; 0.5; 0.8 ] in
@@ -246,7 +255,9 @@ let run_figures () =
     "== Fig. 4 (quick scale: %d hosts; full sweep via bin/experiments.exe) ==@."
     (params.Experiments.Fig4.leaves * params.Experiments.Fig4.hosts_per_leaf);
   let results =
-    Experiments.Fig4.sweep params ~loads ~schemes:Experiments.Fig4.paper_schemes
+    ok
+      (Experiments.Fig4.sweep params ~loads
+         ~schemes:Experiments.Fig4.paper_schemes)
   in
   Format.printf "%a@." Experiments.Fig4.print_fig4 results;
   (* Engine throughput across the sweep — the discrete-event simulator's
@@ -268,7 +279,7 @@ let run_figures () =
   List.iter
     (fun levels ->
       let r =
-        Experiments.Fig4.run
+        Experiments.Fig4.run_exn
           { params with Experiments.Fig4.levels = Some levels }
           (Experiments.Fig4.Qvisor_policy "pfabric + edf")
       in
@@ -284,7 +295,7 @@ let run_figures () =
   List.iter
     (fun (name, backend) ->
       let r =
-        Experiments.Fig4.run
+        Experiments.Fig4.run_exn
           { params with Experiments.Fig4.backend }
           (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
       in
@@ -313,12 +324,55 @@ let run_figures () =
   let qvisor = Experiments.Churn.run churn_params ~qvisor:true in
   Format.printf "@.%a@." Experiments.Churn.print [ naive; qvisor ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling (Engine.Parallel over the Fig. 4 grid)             *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling () =
+  let params = Experiments.Fig4.quick in
+  let loads = [ 0.2; 0.5; 0.8 ] in
+  let schemes = Experiments.Fig4.paper_schemes in
+  let grid = List.length loads * List.length schemes in
+  Format.printf
+    "== parallel scaling: quick Fig. 4 sweep (%d grid points) ==@." grid;
+  Format.printf "recommended domain count on this machine: %d@."
+    (Domain.recommended_domain_count ());
+  (* Compare CSV rows (nan-safe: nan fields serialize empty) plus the
+     simulator event counts; wall_seconds is wall-clock and excluded. *)
+  let strip r =
+    ( Experiments.Export.fig4_row r,
+      r.Experiments.Fig4.events_fired )
+  in
+  let time_once jobs =
+    let t0 = Unix.gettimeofday () in
+    let results = ok (Experiments.Fig4.sweep ~jobs params ~loads ~schemes) in
+    (Unix.gettimeofday () -. t0, List.map strip results)
+  in
+  (* One untimed pass to warm code paths and the allocator. *)
+  ignore (time_once 1);
+  let serial, baseline = time_once 1 in
+  Format.printf "jobs 1: %7.2f s  speedup 1.00x  (baseline)@." serial;
+  List.iter
+    (fun jobs ->
+      let dt, results = time_once jobs in
+      let identical = results = baseline in
+      Format.printf "jobs %d: %7.2f s  speedup %.2fx  results %s@." jobs dt
+        (serial /. dt)
+        (if identical then "identical" else "DIFFER");
+      if not identical then begin
+        Format.printf "scaling: results differ at jobs=%d@." jobs;
+        exit 1
+      end)
+    [ 2; 4; 8 ]
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match mode with
   | "micro" -> run_micro ()
   | "figures" -> run_figures ()
+  | "scaling" -> run_scaling ()
   | _ ->
     run_micro ();
-    run_figures ());
+    run_figures ();
+    run_scaling ());
   Format.printf "@.bench: done@."

@@ -4,29 +4,66 @@
 
 open Cmdliner
 
-let params_of_scale = function
-  | "quick" -> Experiments.Fig4.quick
-  | "default" -> Experiments.Fig4.default
-  | "paper" -> Experiments.Fig4.paper_scale
-  | s -> failwith ("unknown scale: " ^ s ^ " (quick|default|paper)")
-
+(* A typed converter instead of a failwith: bad values produce a one-line
+   Cmdliner error plus usage, not a backtrace. *)
 let scale_arg =
+  let scale_conv =
+    Arg.enum
+      [
+        ("quick", Experiments.Fig4.quick);
+        ("default", Experiments.Fig4.default);
+        ("paper", Experiments.Fig4.paper_scale);
+      ]
+  in
   let doc = "Fabric scale: quick (8 hosts), default (24 hosts), paper (144 hosts)." in
-  Arg.(value & opt string "default" & info [ "scale" ] ~docv:"SCALE" ~doc)
+  Arg.(
+    value
+    & opt scale_conv Experiments.Fig4.default
+    & info [ "scale" ] ~docv:"SCALE" ~doc)
 
 let seed_arg =
   let doc = "Deterministic seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* [Arg.list float] validates each element, so "0.2,oops" is a clean
+   argument error instead of an uncaught [float_of_string] failure. *)
 let loads_arg =
   let doc = "Comma-separated loads (default: the paper's 0.2..0.8)." in
-  Arg.(value & opt (some string) None & info [ "loads" ] ~docv:"LOADS" ~doc)
+  Arg.(
+    value
+    & opt (some (list float)) None
+    & info [ "loads" ] ~docv:"LOADS" ~doc)
 
 let parse_loads = function
   | None -> Experiments.Fig4.paper_loads
-  | Some s -> List.map float_of_string (String.split_on_char ',' s)
+  | Some loads -> loads
 
-let progress fmt = Format.eprintf fmt
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel runs (floor 1; default: \
+     the machine's recommended domain count minus one)."
+  in
+  Arg.(
+    value
+    & opt int (Engine.Parallel.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Progress lines can now be emitted from worker domains; serialize them. *)
+let progress_mutex = Mutex.create ()
+
+let progress fmt =
+  Mutex.lock progress_mutex;
+  Format.kfprintf
+    (fun ppf ->
+      Format.pp_print_flush ppf ();
+      Mutex.unlock progress_mutex)
+    Format.err_formatter fmt
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    Format.eprintf "error: %s@." (Qvisor.Error.to_string e);
+    exit 1
 
 let config_arg =
   let doc = "Load experiment parameters from a key=value config file (see Experiments.Config); --scale is ignored when given." in
@@ -34,7 +71,7 @@ let config_arg =
 
 let resolve_params scale config seed =
   match config with
-  | None -> { (params_of_scale scale) with Experiments.Fig4.seed }
+  | None -> { scale with Experiments.Fig4.seed }
   | Some path -> (
     match Experiments.Config.load path with
     | Ok params -> { params with Experiments.Fig4.seed }
@@ -108,25 +145,108 @@ let setup_telemetry ~telemetry ~trace ~trace_sample ~seed =
           print_endline (Engine.Json.to_string ~pretty:true snap) )
   end
 
+(* Per-job telemetry for the parallel sweep: every job gets a private
+   registry (and, under --trace, a private temp sink seeded from the
+   job's derived stream); after the join everything is merged in job
+   order, so the snapshot and the trace file do not depend on the worker
+   count. *)
+let setup_job_telemetry ~telemetry ~trace ~trace_sample
+    (grid : Experiments.Fig4.job list) =
+  if trace_sample < 0. || trace_sample > 1. then begin
+    Format.eprintf "--trace-sample must be within [0,1] (got %g)@."
+      trace_sample;
+    exit 1
+  end;
+  if (not telemetry) && trace = None then
+    ((fun (_ : Experiments.Fig4.job) -> Engine.Telemetry.disabled), fun () -> ())
+  else begin
+    let slots =
+      List.map
+        (fun (job : Experiments.Fig4.job) ->
+          let tel = Engine.Telemetry.create () in
+          let tmp =
+            match trace with
+            | None -> None
+            | Some _ ->
+              let path = Filename.temp_file "qvisor-trace" ".ndjson" in
+              let oc = open_out path in
+              Engine.Telemetry.attach_sink tel ~sample:trace_sample
+                ~seed:job.Experiments.Fig4.job_seed oc;
+              Some (path, oc)
+          in
+          (job.Experiments.Fig4.index, tel, tmp))
+        grid
+    in
+    let by_index = Hashtbl.create 64 in
+    List.iter (fun (i, tel, _) -> Hashtbl.replace by_index i tel) slots;
+    let telemetry_for (job : Experiments.Fig4.job) =
+      Hashtbl.find by_index job.Experiments.Fig4.index
+    in
+    let finish () =
+      let merged = Engine.Telemetry.create () in
+      let final =
+        match trace with
+        | None -> None
+        | Some path -> (
+          match open_out path with
+          | oc ->
+            Engine.Telemetry.attach_sink merged ~sample:trace_sample oc;
+            Some (path, oc)
+          | exception Sys_error e ->
+            Format.eprintf "cannot write trace: %s@." e;
+            exit 1)
+      in
+      List.iter
+        (fun (_, tel, tmp) ->
+          Engine.Telemetry.merge_into ~into:merged tel;
+          match tmp with
+          | None -> ()
+          | Some (path, oc) ->
+            Engine.Telemetry.detach_sink tel;
+            close_out oc;
+            (match final with
+            | None -> ()
+            | Some (_, final_oc) ->
+              let ic = open_in_bin path in
+              let len = in_channel_length ic in
+              output_string final_oc (really_input_string ic len);
+              close_in ic);
+            Sys.remove path)
+        slots;
+      let snap =
+        if telemetry then Some (Engine.Telemetry.snapshot merged) else None
+      in
+      (match final with
+      | None -> ()
+      | Some (path, oc) ->
+        Engine.Telemetry.detach_sink merged;
+        close_out oc;
+        progress "wrote %s@." path);
+      Option.iter
+        (fun snap -> print_endline (Engine.Json.to_string ~pretty:true snap))
+        snap
+    in
+    (telemetry_for, finish)
+  end
+
 let fig4_cmd =
-  let run scale seed loads csv config telemetry trace trace_sample =
+  let run scale seed loads csv config telemetry trace trace_sample jobs =
     let params = resolve_params scale config seed in
     let loads = parse_loads loads in
-    let tel, finish_telemetry =
-      setup_telemetry ~telemetry ~trace ~trace_sample ~seed
+    let jobs = max 1 jobs in
+    let grid =
+      Experiments.Fig4.jobs_of_grid params ~loads
+        ~schemes:Experiments.Fig4.paper_schemes
+    in
+    let telemetry_for, finish_telemetry =
+      setup_job_telemetry ~telemetry ~trace ~trace_sample grid
+    in
+    let on_start (job : Experiments.Fig4.job) =
+      progress "running load %.2f %s...@." job.Experiments.Fig4.job_load
+        (Experiments.Fig4.scheme_name job.Experiments.Fig4.job_scheme)
     in
     let results =
-      List.concat_map
-        (fun load ->
-          List.map
-            (fun scheme ->
-              progress "running load %.2f %s...@." load
-                (Experiments.Fig4.scheme_name scheme);
-              Experiments.Fig4.run ?telemetry:tel
-                { params with Experiments.Fig4.load }
-                scheme)
-            Experiments.Fig4.paper_schemes)
-        loads
+      or_die (Experiments.Fig4.run_jobs ~jobs ~telemetry_for ~on_start params grid)
     in
     Format.printf "%a@." Experiments.Fig4.print_fig4 results;
     (match csv with
@@ -140,22 +260,21 @@ let fig4_cmd =
   Cmd.v (Cmd.info "fig4" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ loads_arg $ csv_arg $ config_arg
-      $ telemetry_arg $ trace_arg $ trace_sample_arg)
+      $ telemetry_arg $ trace_arg $ trace_sample_arg $ jobs_arg)
 
 let ablation_quant_cmd =
-  let run scale seed =
-    let params = { (params_of_scale scale) with Experiments.Fig4.seed } in
+  let run scale seed jobs =
+    let params = { scale with Experiments.Fig4.seed } in
     let results =
-      List.map
+      Engine.Parallel.map ~jobs:(max 1 jobs)
         (fun levels ->
           progress "running quantization levels %d...@." levels;
-          let r =
+          ( levels,
             Experiments.Fig4.run
               { params with Experiments.Fig4.levels = Some levels }
-              (Experiments.Fig4.Qvisor_policy "pfabric + edf")
-          in
-          (levels, r))
+              (Experiments.Fig4.Qvisor_policy "pfabric + edf") ))
         [ 4; 8; 16; 32; 64; 128; 256 ]
+      |> List.map (fun (levels, r) -> (levels, or_die r))
     in
     Format.printf
       "@[<v>Ablation A1 — normalization quantization (QVISOR pfabric + edf, \
@@ -171,11 +290,12 @@ let ablation_quant_cmd =
     Format.printf "@]@."
   in
   let doc = "Ablation A1: FCT sensitivity to rank-normalization quantization." in
-  Cmd.v (Cmd.info "ablation-quant" ~doc) Term.(const run $ scale_arg $ seed_arg)
+  Cmd.v (Cmd.info "ablation-quant" ~doc)
+    Term.(const run $ scale_arg $ seed_arg $ jobs_arg)
 
 let ablation_backend_cmd =
-  let run scale seed =
-    let params = { (params_of_scale scale) with Experiments.Fig4.seed } in
+  let run scale seed jobs =
+    let params = { scale with Experiments.Fig4.seed } in
     let cap = params.Experiments.Fig4.queue_capacity_pkts in
     let backends =
       [
@@ -207,49 +327,64 @@ let ablation_backend_cmd =
        load %.2f)@,%-20s | %14s | %14s | %8s@,"
       params.Experiments.Fig4.load "backend" "small FCT (ms)" "large FCT (ms)"
       "drops";
+    let cases =
+      List.map
+        (fun (name, backend) ->
+          (name, { params with Experiments.Fig4.backend }))
+        backends
+      @ [ ("PIFO tree (direct)",
+           { params with Experiments.Fig4.tree_backend = true }) ]
+    in
+    let results =
+      Engine.Parallel.map ~jobs:(max 1 jobs)
+        (fun (name, case_params) ->
+          progress "running backend %s...@." name;
+          ( name,
+            Experiments.Fig4.run case_params
+              (Experiments.Fig4.Qvisor_policy "pfabric >> edf") ))
+        cases
+      |> List.map (fun (name, r) -> (name, or_die r))
+    in
     List.iter
-      (fun (name, backend) ->
-        progress "running backend %s...@." name;
-        let r =
-          Experiments.Fig4.run
-            { params with Experiments.Fig4.backend }
-            (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
-        in
+      (fun (name, r) ->
         Format.printf "%-20s | %14.3f | %14.3f | %8d@," name
           r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.large_mean_ms
           r.Experiments.Fig4.drops)
-      backends;
-    progress "running backend PIFO tree...@.";
-    let tree =
-      Experiments.Fig4.run
-        { params with Experiments.Fig4.tree_backend = true }
-        (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
-    in
-    Format.printf "%-20s | %14.3f | %14.3f | %8d@," "PIFO tree (direct)"
-      tree.Experiments.Fig4.small_mean_ms tree.Experiments.Fig4.large_mean_ms
-      tree.Experiments.Fig4.drops;
+      results;
     Format.printf "@]@."
   in
   let doc = "Ablation A2: ideal PIFO vs commodity schedulers under QVISOR." in
-  Cmd.v (Cmd.info "ablation-backend" ~doc) Term.(const run $ scale_arg $ seed_arg)
+  Cmd.v (Cmd.info "ablation-backend" ~doc)
+    Term.(const run $ scale_arg $ seed_arg $ jobs_arg)
 
 let churn_cmd =
-  let run seed telemetry trace trace_sample =
+  let run seed telemetry trace trace_sample jobs =
     let params = { Experiments.Churn.default with Experiments.Churn.seed } in
     let tel, finish_telemetry =
       setup_telemetry ~telemetry ~trace ~trace_sample ~seed
     in
-    progress "running churn (naive)...@.";
-    let naive = Experiments.Churn.run params ~qvisor:false in
-    progress "running churn (qvisor)...@.";
-    let qvisor = Experiments.Churn.run ?telemetry:tel params ~qvisor:true in
-    Format.printf "%a@.@.%a@." Experiments.Churn.print [ naive; qvisor ]
-      Experiments.Churn.print_activity qvisor;
-    finish_telemetry ()
+    (* Telemetry instruments only the qvisor run (as before), so the
+       single registry is touched by exactly one worker. *)
+    let telemetry_for ~qvisor =
+      if qvisor then Option.value tel ~default:Engine.Telemetry.disabled
+      else Engine.Telemetry.disabled
+    in
+    progress "running churn (naive + qvisor)...@.";
+    match
+      Experiments.Churn.compare_schemes ~jobs:(max 1 jobs) ~telemetry_for
+        params
+    with
+    | [ naive; qvisor ] ->
+      Format.printf "%a@.@.%a@." Experiments.Churn.print [ naive; qvisor ]
+        Experiments.Churn.print_activity qvisor;
+      finish_telemetry ()
+    | _ -> assert false
   in
   let doc = "Ablation A3: tenant churn (the paper's Fig. 2 timeline)." in
   Cmd.v (Cmd.info "churn" ~doc)
-    Term.(const run $ seed_arg $ telemetry_arg $ trace_arg $ trace_sample_arg)
+    Term.(
+      const run $ seed_arg $ telemetry_arg $ trace_arg $ trace_sample_arg
+      $ jobs_arg)
 
 let single_cmd =
   let scheme_arg =
@@ -277,7 +412,7 @@ let single_cmd =
     let tel, finish_telemetry =
       setup_telemetry ~telemetry ~trace ~trace_sample ~seed
     in
-    let r = Experiments.Fig4.run ?telemetry:tel params scheme in
+    let r = or_die (Experiments.Fig4.run ?telemetry:tel params scheme) in
     Format.printf
       "@[<v>%s @ load %.2f@,small mean %.3f ms (p99 %.3f)@,large mean %.3f ms \
        (p99 %.3f)@,completed %d/%d, drops %d, cbr-ok %s@,engine %d events in \

@@ -8,23 +8,69 @@
 
 open Cmdliner
 
-(* Tenant spec syntax: NAME:ALGO:LO:HI[:WEIGHT]. *)
-let parse_tenant idx spec =
-  match String.split_on_char ':' spec with
-  | [ name; algo; lo; hi ] ->
-    Qvisor.Tenant.make ~algorithm:algo ~rank_lo:(int_of_string lo)
-      ~rank_hi:(int_of_string hi) ~id:idx ~name ()
-  | [ name; algo; lo; hi; w ] ->
-    Qvisor.Tenant.make ~algorithm:algo ~rank_lo:(int_of_string lo)
-      ~rank_hi:(int_of_string hi) ~weight:(float_of_string w) ~id:idx ~name ()
-  | _ ->
-    failwith
-      (Printf.sprintf
-         "bad tenant spec %S (expected NAME:ALGO:LO:HI[:WEIGHT])" spec)
+(* Tenant spec syntax: NAME:ALGO:LO:HI[:WEIGHT].  A typed Cmdliner
+   converter, so a malformed spec is a one-line argument error instead of
+   an uncaught exception. *)
+type tenant_spec = {
+  ts_name : string;
+  ts_algo : string;
+  ts_lo : int;
+  ts_hi : int;
+  ts_weight : float option;
+}
+
+let tenant_conv =
+  let parse spec =
+    let bad what field =
+      Error
+        (`Msg
+           (Printf.sprintf "tenant spec %S: %s %S is not a number" spec what
+              field))
+    in
+    let int_field what s k =
+      match int_of_string_opt s with Some v -> k v | None -> bad what s
+    in
+    match String.split_on_char ':' spec with
+    | [ name; algo; lo; hi ] ->
+      int_field "rank bound" lo (fun ts_lo ->
+          int_field "rank bound" hi (fun ts_hi ->
+              Ok { ts_name = name; ts_algo = algo; ts_lo; ts_hi; ts_weight = None }))
+    | [ name; algo; lo; hi; w ] ->
+      int_field "rank bound" lo (fun ts_lo ->
+          int_field "rank bound" hi (fun ts_hi ->
+              match float_of_string_opt w with
+              | None -> bad "weight" w
+              | Some weight ->
+                Ok
+                  {
+                    ts_name = name;
+                    ts_algo = algo;
+                    ts_lo;
+                    ts_hi;
+                    ts_weight = Some weight;
+                  }))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad tenant spec %S (expected NAME:ALGO:LO:HI[:WEIGHT])" spec))
+  in
+  let print ppf ts =
+    Format.fprintf ppf "%s:%s:%d:%d%s" ts.ts_name ts.ts_algo ts.ts_lo ts.ts_hi
+      (match ts.ts_weight with
+      | None -> ""
+      | Some w -> Printf.sprintf ":%g" w)
+  in
+  Arg.conv (parse, print)
+
+let tenant_of_spec idx ts =
+  Qvisor.Tenant.make ~algorithm:ts.ts_algo ~rank_lo:ts.ts_lo ~rank_hi:ts.ts_hi
+    ?weight:ts.ts_weight ~id:idx ~name:ts.ts_name ()
 
 let tenants_arg =
   let doc = "Tenant spec NAME:ALGO:LO:HI[:WEIGHT]; repeatable." in
-  Arg.(value & opt_all string [] & info [ "tenant"; "t" ] ~docv:"TENANT" ~doc)
+  Arg.(
+    value & opt_all tenant_conv [] & info [ "tenant"; "t" ] ~docv:"TENANT" ~doc)
 
 let spec_file_arg =
   let doc =
@@ -52,7 +98,7 @@ let resolve_spec spec_file tenant_specs policy_str =
       match Qvisor.Serialize.spec_of_json json with
       | Ok spec -> spec
       | Error e ->
-        Format.eprintf "spec error in %s: %s@." path e;
+        Format.eprintf "spec error in %s: %s@." path (Qvisor.Error.to_string e);
         exit 1))
   | None ->
     if tenant_specs = [] then begin
@@ -66,12 +112,12 @@ let resolve_spec spec_file tenant_specs policy_str =
         Format.eprintf "no policy: pass --policy or --spec-file@.";
         exit 1
     in
-    let tenants = List.mapi parse_tenant tenant_specs in
+    let tenants = List.mapi tenant_of_spec tenant_specs in
     let policy =
       match Qvisor.Policy.parse policy_str with
       | Ok p -> p
       | Error e ->
-        Format.eprintf "policy error: %s@." e;
+        Format.eprintf "policy error: %s@." (Qvisor.Error.to_string e);
         exit 1
     in
     (tenants, policy)
@@ -119,40 +165,87 @@ let trace_sample_arg =
   let doc = "Probability that a dry-run event is recorded in the trace." in
   Arg.(value & opt float 1.0 & info [ "trace-sample" ] ~docv:"RATE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the telemetry dry run (floor 1; default: the \
+     machine's recommended domain count minus one)."
+  in
+  Arg.(
+    value
+    & opt int (Engine.Parallel.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 (* Cap the per-tenant label sweep so wide rank ranges stay cheap. *)
 let max_sweep_labels = 4096
 
-let telemetry_dry_run tel plan tenants =
-  let pre = Qvisor.Preprocessor.of_plan ~telemetry:tel plan in
-  let seq = ref 0 in
-  let shoot ~tenant ~label =
-    let p = Sched.Packet.make ~tenant ~rank:label ~flow:0 ~size:1500 () in
-    Qvisor.Preprocessor.process pre p;
-    if Engine.Telemetry.tracing tel then
-      Engine.Telemetry.event tel
-        ~time:(float_of_int !seq)
-        ~kind:"preprocess" ~tenant ~rank_before:p.Sched.Packet.label
-        ~rank:p.Sched.Packet.rank ();
-    incr seq
+(* One dry-run partition: a contiguous slice of the packet sequence that
+   can run on its own domain with its own registry.  Sequence offsets are
+   precomputed from the tenants' declared ranges, so the trace's "t"
+   field (the packet index) is identical for any worker count. *)
+type dry_run_part = {
+  part_index : int;
+  seq_offset : int;
+  shots : (int * int) list;  (* (tenant id, raw label) *)
+}
+
+let dry_run_parts tenants =
+  let max_id =
+    List.fold_left (fun m t -> Stdlib.max m t.Qvisor.Tenant.id) (-1) tenants
   in
-  let max_id = ref (-1) in
-  List.iter
-    (fun t ->
-      let lo = t.Qvisor.Tenant.rank_lo and hi = t.Qvisor.Tenant.rank_hi in
-      if t.Qvisor.Tenant.id > !max_id then max_id := t.Qvisor.Tenant.id;
-      let stride = Stdlib.max 1 ((hi - lo + 1) / max_sweep_labels) in
-      let label = ref lo in
-      while !label <= hi do
-        shoot ~tenant:t.Qvisor.Tenant.id ~label:!label;
-        label := !label + stride
-      done)
-    tenants;
+  let parts_rev, next_index, next_seq =
+    List.fold_left
+      (fun (parts, index, seq) t ->
+        let lo = t.Qvisor.Tenant.rank_lo and hi = t.Qvisor.Tenant.rank_hi in
+        let stride = Stdlib.max 1 ((hi - lo + 1) / max_sweep_labels) in
+        let shots = ref [] in
+        let label = ref lo in
+        while !label <= hi do
+          shots := (t.Qvisor.Tenant.id, !label) :: !shots;
+          label := !label + stride
+        done;
+        let shots = List.rev !shots in
+        ( { part_index = index; seq_offset = seq; shots } :: parts,
+          index + 1,
+          seq + List.length shots ))
+      ([], 0, 0) tenants
+  in
   (* One packet from a tenant the plan does not know: the fallback path. *)
-  shoot ~tenant:(!max_id + 1) ~label:0
+  let fallback =
+    { part_index = next_index; seq_offset = next_seq; shots = [ (max_id + 1, 0) ] }
+  in
+  List.rev (fallback :: parts_rev)
+
+(* Runs on a worker domain: a private registry, a private pre-processor
+   over the shared (immutable) plan, and — when tracing — a private sink
+   on a temp file whose sampler is seeded from the partition index. *)
+let run_dry_run_part ~plan ~trace ~trace_sample part =
+  let tel = Engine.Telemetry.create () in
+  let sink =
+    match trace with
+    | None -> None
+    | Some _ ->
+      let path, oc = Filename.open_temp_file "qvisor-trace" ".ndjson" in
+      Engine.Telemetry.attach_sink tel ~sample:trace_sample
+        ~seed:(Engine.Rng.derive ~seed:0 part.part_index)
+        oc;
+      Some (path, oc)
+  in
+  let pre = Qvisor.Preprocessor.of_plan ~telemetry:tel plan in
+  List.iteri
+    (fun i (tenant, label) ->
+      let p = Sched.Packet.make ~tenant ~rank:label ~flow:0 ~size:1500 () in
+      Qvisor.Preprocessor.process pre p;
+      if Engine.Telemetry.tracing tel then
+        Engine.Telemetry.event tel
+          ~time:(float_of_int (part.seq_offset + i))
+          ~kind:"preprocess" ~tenant ~rank_before:p.Sched.Packet.label
+          ~rank:p.Sched.Packet.rank ())
+    part.shots;
+  (tel, sink)
 
 let plan_cmd =
   let run tenant_specs policy_str queues levels json spec_file pipeline
-      telemetry trace trace_sample =
+      telemetry trace trace_sample jobs =
     let tenants, policy = resolve_spec spec_file tenant_specs policy_str in
     let config = { Qvisor.Synthesizer.default_config with levels } in
     (* Exercise the pre-processor and return its registry snapshot (None
@@ -165,12 +258,20 @@ let plan_cmd =
     let run_telemetry plan =
       if (not telemetry) && trace = None then None
       else begin
-        let tel = Engine.Telemetry.create () in
-        let snap =
+        (* Fan the per-tenant label sweeps out over worker domains; every
+           partition has its own registry (and trace temp file), merged
+           back in partition order so the snapshot and the trace are
+           identical for any --jobs value. *)
+        let parts = dry_run_parts tenants in
+        let results =
+          Engine.Parallel.map ~jobs:(max 1 jobs)
+            (run_dry_run_part ~plan ~trace ~trace_sample)
+            parts
+        in
+        let merged = Engine.Telemetry.create () in
+        let final =
           match trace with
-          | None ->
-            telemetry_dry_run tel plan tenants;
-            Engine.Telemetry.snapshot tel
+          | None -> None
           | Some path ->
             let oc =
               try open_out path
@@ -178,21 +279,41 @@ let plan_cmd =
                 Format.eprintf "cannot write trace: %s@." e;
                 exit 1
             in
-            Engine.Telemetry.attach_sink tel ~sample:trace_sample oc;
-            telemetry_dry_run tel plan tenants;
-            (* Snapshot before detaching so the trace stats are included. *)
-            let snap = Engine.Telemetry.snapshot tel in
-            Engine.Telemetry.detach_sink tel;
-            close_out oc;
-            Format.eprintf "wrote %s@." path;
-            snap
+            Engine.Telemetry.attach_sink merged ~sample:trace_sample oc;
+            Some (path, oc)
         in
+        List.iter
+          (fun (tel, sink) ->
+            Engine.Telemetry.merge_into ~into:merged tel;
+            match (sink, final) with
+            | Some (tmp, tmp_oc), Some (_, oc) ->
+              Engine.Telemetry.detach_sink tel;
+              close_out tmp_oc;
+              let ic = open_in_bin tmp in
+              let len = in_channel_length ic in
+              output_string oc (really_input_string ic len);
+              close_in ic;
+              Sys.remove tmp
+            | Some (tmp, tmp_oc), None ->
+              Engine.Telemetry.detach_sink tel;
+              close_out tmp_oc;
+              Sys.remove tmp
+            | None, _ -> ())
+          results;
+        (* Snapshot before detaching so the trace stats are included. *)
+        let snap = Engine.Telemetry.snapshot merged in
+        (match final with
+        | None -> ()
+        | Some (path, oc) ->
+          Engine.Telemetry.detach_sink merged;
+          close_out oc;
+          Format.eprintf "wrote %s@." path);
         Some snap
       end
     in
     match Qvisor.Synthesizer.synthesize ~config ~tenants ~policy () with
     | Error e ->
-      Format.eprintf "synthesis error: %s@." e;
+      Format.eprintf "synthesis error: %s@." (Qvisor.Error.to_string e);
       exit 1
     | Ok plan when json ->
       let report = Qvisor.Analysis.check plan in
@@ -224,14 +345,21 @@ let plan_cmd =
              (List.map (fun t -> t.Qvisor.Tenant.name) at_risk)));
       (match queues with
       | None -> ()
-      | Some n ->
-        let bounds = Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:n in
-        Format.printf "@.queue mapping (%d strict-priority queues):@." n;
-        Array.iteri
-          (fun i b ->
-            let lo = if i = 0 then plan.Qvisor.Synthesizer.rank_lo else bounds.(i - 1) + 1 in
-            Format.printf "  queue %d: ranks [%d, %d]@." i lo b)
-          bounds);
+      | Some n -> (
+        match Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:n with
+        | Error e ->
+          Format.eprintf "queue mapping error: %s@." (Qvisor.Error.to_string e);
+          exit 1
+        | Ok bounds ->
+          Format.printf "@.queue mapping (%d strict-priority queues):@." n;
+          Array.iteri
+            (fun i b ->
+              let lo =
+                if i = 0 then plan.Qvisor.Synthesizer.rank_lo
+                else bounds.(i - 1) + 1
+              in
+              Format.printf "  queue %d: ranks [%d, %d]@." i lo b)
+            bounds));
       (if pipeline then
          match Qvisor.Pipeline.compile plan with
          | Ok program ->
@@ -250,7 +378,7 @@ let plan_cmd =
     Term.(
       const run $ tenants_arg $ policy_arg $ queues_arg $ levels_arg $ json_arg
       $ spec_file_arg $ pipeline_arg $ telemetry_arg $ trace_arg
-      $ trace_sample_arg)
+      $ trace_sample_arg $ jobs_arg)
 
 let fit_cmd =
   let queues_required =
@@ -262,7 +390,7 @@ let fit_cmd =
     let resources = { Qvisor.Search.num_queues; queue_capacity_pkts = 64 } in
     match Qvisor.Search.fit ~tenants ~policy ~resources () with
     | Error e ->
-      Format.eprintf "fit error: %s@." e;
+      Format.eprintf "fit error: %s@." (Qvisor.Error.to_string e);
       exit 1
     | Ok proposal ->
       Format.printf "%a@." Qvisor.Search.pp_proposal proposal;
@@ -291,7 +419,7 @@ let check_cmd =
         (String.concat ", " (Qvisor.Policy.tenant_names p));
       Format.printf "strict tiers: %d@." (List.length (Qvisor.Policy.strict_tiers p))
     | Error e ->
-      Format.eprintf "parse error: %s@." e;
+      Format.eprintf "parse error: %s@." (Qvisor.Error.to_string e);
       exit 1
   in
   let doc = "Parse and echo an operator policy." in

@@ -25,7 +25,7 @@ let () =
     "large FCT (ms)" "cbr-ok";
   List.iter
     (fun scheme ->
-      let r = Experiments.Fig4.run params scheme in
+      let r = Experiments.Fig4.run_exn params scheme in
       Format.printf "%-30s | %14.3f | %14.3f | %8s@." r.Experiments.Fig4.scheme
         r.Experiments.Fig4.small_mean_ms r.Experiments.Fig4.large_mean_ms
         (if Float.is_nan r.Experiments.Fig4.cbr_deadline_fraction then "-"

@@ -38,7 +38,11 @@ let () =
           (Qvisor.Analysis.starvation_risk plan)));
 
   (* Deployment to an 8-queue strict-priority switch. *)
-  let bounds = Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:8 in
+  let bounds =
+    match Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:8 with
+    | Ok bounds -> bounds
+    | Error e -> failwith (Qvisor.Error.to_string e)
+  in
   Format.printf "== 8-queue strict-priority mapping ==@.";
   Array.iteri
     (fun i b ->
@@ -87,7 +91,7 @@ let () =
      load it with low-tier traffic first, then a high-tier burst. *)
   let pre = Qvisor.Preprocessor.of_plan plan in
   let bank =
-    Qvisor.Deploy.instantiate ~plan
+    Qvisor.Deploy.instantiate_exn ~plan
       (Qvisor.Deploy.Sp_bank { num_queues = 8; queue_capacity_pkts = 64 })
   in
   let offer tenant rank =

@@ -34,7 +34,7 @@ let () =
       ~name:"T2" ()
   in
   let rt =
-    Qvisor.Runtime.create ~tenants:[ t1; t2 ]
+    Qvisor.Runtime.create_exn ~tenants:[ t1; t2 ]
       ~policy:(Qvisor.Policy.parse_exn "T1 + T2")
       ()
   in
@@ -60,7 +60,7 @@ let () =
    with
   | Ok () -> Format.printf "t = t1 — T3 joined; plan re-synthesized (%d swaps)@."
                (Qvisor.Runtime.resyntheses rt)
-  | Error e -> failwith e);
+  | Error e -> failwith (Qvisor.Error.to_string e));
   let order =
     burst rt pifo
       [ (3, 100); (3, 2_000); (1, 20_000); (2, 10); (1, 50); (2, 140) ]
@@ -76,7 +76,7 @@ let () =
     [ 0; 10; 40; 100 ];
   (match Qvisor.Runtime.refresh rt with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (Qvisor.Error.to_string e));
   let a =
     List.find
       (fun a -> a.Qvisor.Synthesizer.tenant.Qvisor.Tenant.id = 1)
@@ -96,13 +96,13 @@ let () =
        ~policy:(Qvisor.Policy.parse_exn "T2 >> T3") ()
    with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (Qvisor.Error.to_string e));
   (match
      Qvisor.Runtime.remove_tenant rt ~tenant_id:2
        ~policy:(Qvisor.Policy.parse_exn "T3") ()
    with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error e -> failwith (Qvisor.Error.to_string e));
   Format.printf
     "after departures — %d re-syntheses total; T3 now owns the whole rank \
      space: %a@."

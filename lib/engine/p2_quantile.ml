@@ -85,6 +85,30 @@ let add t x =
     done
   end
 
+let merge_into ~into src =
+  if into.q <> src.q then invalid_arg "P2_quantile.merge_into: quantiles differ";
+  if src.n = 0 then ()
+  else if src.n <= 5 then
+    (* Below five observations the heights are the raw samples. *)
+    for i = 0 to src.n - 1 do
+      add into src.heights.(i)
+    done
+  else begin
+    (* Replay the five marker heights, each with the multiplicity implied
+       by the gap between adjacent marker positions.  This is approximate
+       (the sketch cannot be merged exactly) but deterministic: the same
+       source state always replays the same stream. *)
+    let round p = int_of_float (Float.round p) in
+    let prev = ref 0 in
+    for i = 0 to 4 do
+      let upto = round src.positions.(i) in
+      for _ = !prev + 1 to upto do
+        add into src.heights.(i)
+      done;
+      prev := max !prev upto
+    done
+  end
+
 let estimate t =
   if t.n = 0 then nan
   else if t.n >= 5 then t.heights.(2)

@@ -15,6 +15,16 @@ val add : t -> float -> unit
 
 val count : t -> int
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s state into [into].  When [src]
+    holds five or fewer observations they are replayed exactly; beyond
+    that the five marker heights are replayed with the multiplicities
+    implied by the marker positions — an approximation, but a
+    deterministic one, so merging the same sketches in the same order
+    always yields the same estimate.  Both sketches must track the same
+    quantile.
+    @raise Invalid_argument if the quantiles differ. *)
+
 val estimate : t -> float
 (** Current estimate.  With fewer than five observations this is the exact
     quantile of what has been seen; [nan] when empty. *)

@@ -1,0 +1,56 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Claim items from a shared counter; write each outcome into the slot
+   matching its submission index so fan-in preserves input order. *)
+let run_pool ~jobs f (items : 'a array) : ('b, exn) result array =
+  let n = Array.length items in
+  let results = Array.make n None in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then
+      Array.iteri
+        (fun i item ->
+          results.(i) <-
+            (match f item with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error e)))
+        items
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            results.(i) <-
+              (match f items.(i) with
+              | v -> Some (Ok v)
+              | exception e -> Some (Error e))
+        done
+      in
+      let domains =
+        Array.init (jobs - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join domains
+    end;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false)
+      results
+  end
+
+let try_map ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  Array.to_list (run_pool ~jobs f (Array.of_list items))
+
+let map ?jobs f items =
+  let results = try_map ?jobs f items in
+  List.map
+    (function
+      | Ok v -> v
+      | Error e -> raise e)
+    results

@@ -1,0 +1,30 @@
+(** Fixed-size domain pool with a deterministic fan-out/fan-in map.
+
+    Work items are claimed from a shared atomic counter by [jobs] workers
+    ([jobs - 1] spawned domains plus the calling domain), and results are
+    written into a slot array indexed by the item's submission position, so
+    the returned list is always in input order regardless of scheduling.
+    With [jobs = 1] no domain is spawned and items run serially in order,
+    which keeps single-worker runs exactly equivalent to a plain
+    [List.map].
+
+    Workers must not share mutable state through closures unless that
+    state is safe under parallel access; the intended pattern is for each
+    item to carry its own seed (see {!Rng.derive}) and its own telemetry
+    registry, merged after the join. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], floored at 1: leave one
+    core for the OS/collector, never go below a single worker. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item on a pool of [jobs]
+    workers and returns the results in input order.  If any application
+    raises, the exception raised by the lowest-indexed failing item is
+    re-raised in the calling domain after all workers have joined.
+    [jobs] defaults to {!default_jobs}; values below 1 are clamped to 1. *)
+
+val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map} but captures each item's outcome as a [result] instead of
+    re-raising, so a worker failure is data for the caller to inspect —
+    no exception crosses a domain boundary. *)

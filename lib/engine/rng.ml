@@ -14,6 +14,14 @@ let mix z =
 
 let create ~seed = { state = mix (Int64.of_int seed) }
 
+let derive ~seed index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  let open Int64 in
+  let z =
+    mix (add (mix (of_int seed)) (mul (of_int (index + 1)) golden_gamma))
+  in
+  to_int (shift_right_logical z 2)
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state

@@ -12,6 +12,12 @@ val create : seed:int -> t
 (** [create ~seed] returns a fresh generator.  Two generators created with
     the same seed produce identical streams. *)
 
+val derive : seed:int -> int -> int
+(** [derive ~seed i] deterministically maps a root seed and a sub-stream
+    index [i >= 0] to an independent non-negative seed.  Parallel jobs use
+    this so that job [i] draws from the same stream no matter which domain
+    executes it or in what order jobs complete. *)
+
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Use this to give each traffic source its own stream so that adding a

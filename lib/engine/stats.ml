@@ -69,40 +69,40 @@ let quantile t q =
       end
     end
 
+let merge_into ~into:t src =
+  match src.samples with
+  | Some d -> Vec.iter (fun x -> add t x) d
+  | None ->
+    (* Without samples we can only merge moments. *)
+    if src.n > 0 then begin
+      let n0 = t.n in
+      let n1 = src.n in
+      let n = n0 + n1 in
+      let delta = src.mean -. t.mean in
+      let mean =
+        ((t.mean *. float_of_int n0) +. (src.mean *. float_of_int n1))
+        /. float_of_int n
+      in
+      let m2 =
+        t.m2 +. src.m2
+        +. (delta *. delta *. float_of_int n0 *. float_of_int n1
+           /. float_of_int n)
+      in
+      t.n <- n;
+      t.mean <- mean;
+      t.m2 <- m2;
+      t.sum <- t.sum +. src.sum;
+      t.minv <-
+        (if Float.is_nan t.minv then src.minv else Float.min t.minv src.minv);
+      t.maxv <-
+        (if Float.is_nan t.maxv then src.maxv else Float.max t.maxv src.maxv)
+    end
+
 let merge a b =
   let keep = a.samples <> None && b.samples <> None in
   let t = create ~keep_samples:keep () in
-  let absorb src =
-    match src.samples with
-    | Some d -> Vec.iter (fun x -> add t x) d
-    | None ->
-      (* Without samples we can only merge moments. *)
-      if src.n > 0 then begin
-        let n0 = t.n in
-        let n1 = src.n in
-        let n = n0 + n1 in
-        let delta = src.mean -. t.mean in
-        let mean =
-          ((t.mean *. float_of_int n0) +. (src.mean *. float_of_int n1))
-          /. float_of_int n
-        in
-        let m2 =
-          t.m2 +. src.m2
-          +. (delta *. delta *. float_of_int n0 *. float_of_int n1
-             /. float_of_int n)
-        in
-        t.n <- n;
-        t.mean <- mean;
-        t.m2 <- m2;
-        t.sum <- t.sum +. src.sum;
-        t.minv <-
-          (if Float.is_nan t.minv then src.minv else Float.min t.minv src.minv);
-        t.maxv <-
-          (if Float.is_nan t.maxv then src.maxv else Float.max t.maxv src.maxv)
-      end
-  in
-  absorb a;
-  absorb b;
+  merge_into ~into:t a;
+  merge_into ~into:t b;
   t
 
 let pp ppf t =

@@ -40,5 +40,10 @@ val quantile : t -> float -> float
 val merge : t -> t -> t
 (** Combine two summaries (samples are concatenated when both kept). *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src] into [into] in place: samples are
+    replayed when [src] kept them, otherwise the moments are combined
+    pairwise (Chan et al.). *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line [count/mean/p50/p99/max] rendering for logs. *)

@@ -172,6 +172,45 @@ let event t ~time ~kind ?link ?tenant ?flow ?rank_before ?rank ?(extra = [])
     end
 
 (* ------------------------------------------------------------------ *)
+(* Merge                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_into ~into src =
+  if into.enabled && src.enabled then begin
+    List.iter
+      (fun (name, (c : Counter.t)) -> Counter.add (counter into name) c.n)
+      (sorted_bindings src.counters);
+    (* Gauges are last-write-wins: the source (later in submission order)
+       overwrites, matching what a serial run would have left behind. *)
+    List.iter
+      (fun (name, (g : Gauge.t)) -> Gauge.set (gauge into name) g.v)
+      (sorted_bindings src.gauges);
+    List.iter
+      (fun (name, (h : Histogram.t)) ->
+        let dst = histogram into name in
+        Stats.merge_into ~into:dst.Histogram.stats h.Histogram.stats;
+        P2_quantile.merge_into ~into:dst.Histogram.p50 h.Histogram.p50;
+        P2_quantile.merge_into ~into:dst.Histogram.p90 h.Histogram.p90;
+        P2_quantile.merge_into ~into:dst.Histogram.p99 h.Histogram.p99)
+      (sorted_bindings src.histograms);
+    List.iter
+      (fun (name, (bucket, ts)) ->
+        match (series into ~bucket name).Series.ts with
+        | Some dst_ts -> Timeseries.merge_into ~into:dst_ts ts
+        | None -> ())
+      (sorted_bindings src.series_tbl);
+    match (into.sink, src.sink) with
+    | Some d, Some s ->
+      d.seen <- d.seen + s.seen;
+      d.written <- d.written + s.written
+    | _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot                                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -114,6 +114,20 @@ val events_seen : t -> int
 val events_written : t -> int
 (** Events that survived sampling and were written. *)
 
+(** {1 Merge} *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds every metric of [src] into [into]:
+    counters add, gauges take [src]'s value (last-write-wins, matching a
+    serial run where [src]'s work executed later), histograms combine
+    moments via {!Stats.merge_into} and quantile sketches via
+    {!P2_quantile.merge_into}, series sum bucket-wise, and trace
+    seen/written counts add when both registries carry a sink.  The merge
+    is deterministic: merging the same registries in the same order always
+    produces the same snapshot, which is how parallel experiment runs keep
+    [--telemetry] output independent of the worker count.  No-op when
+    either registry is disabled.  [src] is left untouched. *)
+
 (** {1 Export} *)
 
 val snapshot : t -> Json.t

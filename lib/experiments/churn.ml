@@ -172,8 +172,12 @@ let run ?(telemetry = Engine.Telemetry.disabled) params ~qvisor =
       ];
   }
 
-let compare_schemes params =
-  [ run params ~qvisor:false; run params ~qvisor:true ]
+let compare_schemes ?jobs
+    ?(telemetry_for = fun ~qvisor:_ -> Engine.Telemetry.disabled) params =
+  (* Two independent simulations — one worker each when jobs >= 2. *)
+  Engine.Parallel.map ?jobs
+    (fun qvisor -> run ~telemetry:(telemetry_for ~qvisor) params ~qvisor)
+    [ false; true ]
 
 let print ppf results =
   Format.fprintf ppf

@@ -41,8 +41,16 @@ val run :
 (** [telemetry] (default: off) instruments the fabric ports and — under
     [~qvisor:true] — the pre-processor. *)
 
-val compare_schemes : params -> result list
-(** Run both and return [naive; qvisor] results. *)
+val compare_schemes :
+  ?jobs:int ->
+  ?telemetry_for:(qvisor:bool -> Engine.Telemetry.t) ->
+  params ->
+  result list
+(** Run both configurations — on separate domains when [jobs >= 2]
+    (default {!Engine.Parallel.default_jobs}) — and return
+    [naive; qvisor] results in that fixed order regardless of which
+    finishes first.  [telemetry_for] supplies each run's private
+    registry (default: off for both). *)
 
 val print : Format.formatter -> result list -> unit
 

@@ -132,6 +132,7 @@ let qvisor_tenants params =
   ]
 
 let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
+  let ( let* ) = Result.bind in
   let num_hosts = params.leaves * params.hosts_per_leaf in
   let topo =
     Netsim.Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
@@ -142,42 +143,50 @@ let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed:params.seed in
   let transport = Netsim.Transport.create ~sim () in
-  let preprocess, make_qdisc =
+  let* preprocess, make_qdisc =
     let fifo _ = Sched.Fifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
     let pifo _ = Sched.Pifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
     match scheme with
-    | Fifo_both -> (None, fifo)
-    | Pifo_naive | Pifo_pfabric_only -> (None, pifo)
+    | Fifo_both -> Ok (None, fifo)
+    | Pifo_naive | Pifo_pfabric_only -> Ok (None, pifo)
     | Qvisor_policy policy_str when params.tree_backend ->
       (* §5 alternative: compile the policy into a PIFO tree per port; raw
-         ranks go straight in, no pre-processor. *)
-      let make_tree _ =
-        match
-          Qvisor.Deploy.pifo_tree_of_policy ~tenants:(qvisor_tenants params)
-            ~policy:(Qvisor.Policy.parse_exn policy_str)
-            ~capacity_pkts:params.queue_capacity_pkts ()
-        with
-        | Ok q -> q
-        | Error e -> invalid_arg ("Fig4: tree backend: " ^ e)
+         ranks go straight in, no pre-processor.  Build one tree up front
+         so any policy/deployment defect surfaces here as an [Error]; the
+         per-port builds below can then no longer fail. *)
+      let* policy = Qvisor.Policy.parse policy_str in
+      let build () =
+        Qvisor.Deploy.pifo_tree_of_policy ~tenants:(qvisor_tenants params)
+          ~policy ~capacity_pkts:params.queue_capacity_pkts ()
       in
-      (None, make_tree)
+      let* _probe = build () in
+      let make_tree _ =
+        match build () with
+        | Ok q -> q
+        | Error e -> invalid_arg ("Fig4: tree backend: " ^ Qvisor.Error.to_string e)
+      in
+      Ok (None, make_tree)
     | Qvisor_policy policy_str ->
       let config =
         { Qvisor.Synthesizer.default_config with levels = params.levels }
       in
-      let plan =
-        Qvisor.Synthesizer.synthesize_exn ~config
+      let* policy = Qvisor.Policy.parse policy_str in
+      let* plan =
+        Qvisor.Synthesizer.synthesize ~config
           ~tenants:(qvisor_tenants params)
-          ~policy:(Qvisor.Policy.parse_exn policy_str)
-          ()
+          ~policy ()
       in
       let pre = Qvisor.Preprocessor.of_plan ~telemetry plan in
-      let qdisc =
+      let* qdisc =
         match params.backend with
-        | None -> pifo
-        | Some backend -> fun _ -> Qvisor.Deploy.instantiate ~plan backend
+        | None -> Ok pifo
+        | Some backend ->
+          (* Validate the deployment once; per-port instantiation below
+             repeats a construction that is now known to succeed. *)
+          let* _probe = Qvisor.Deploy.instantiate ~plan backend in
+          Ok (fun _ -> Qvisor.Deploy.instantiate_exn ~plan backend)
       in
-      (Some (Qvisor.Preprocessor.process pre), qdisc)
+      Ok (Some (Qvisor.Preprocessor.process pre), qdisc)
   in
   let net =
     Netsim.Net.create ~sim ~topo ~routing ~make_qdisc ?preprocess ~telemetry
@@ -241,26 +250,71 @@ let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
       in
       if sent = 0 then nan else float_of_int met /. float_of_int sent
   in
-  {
-    scheme = scheme_name scheme;
-    load = params.load;
-    small_mean_ms = Netsim.Metrics.mean_fct_ms metrics Netsim.Metrics.Small;
-    small_p99_ms = Netsim.Metrics.p99_fct_ms metrics Netsim.Metrics.Small;
-    large_mean_ms = Netsim.Metrics.mean_fct_ms metrics Netsim.Metrics.Large;
-    large_p99_ms = Netsim.Metrics.p99_fct_ms metrics Netsim.Metrics.Large;
-    overall_mean_ms = 1e3 *. Engine.Stats.mean (Netsim.Metrics.overall metrics);
-    flows_started = arrivals.Netsim.Workload.flows_started;
-    flows_completed = Netsim.Metrics.completed metrics;
-    drops = Netsim.Net.total_drops net;
-    cbr_deadline_fraction;
-    events_fired;
-    wall_seconds;
-  }
+  Ok
+    {
+      scheme = scheme_name scheme;
+      load = params.load;
+      small_mean_ms = Netsim.Metrics.mean_fct_ms metrics Netsim.Metrics.Small;
+      small_p99_ms = Netsim.Metrics.p99_fct_ms metrics Netsim.Metrics.Small;
+      large_mean_ms = Netsim.Metrics.mean_fct_ms metrics Netsim.Metrics.Large;
+      large_p99_ms = Netsim.Metrics.p99_fct_ms metrics Netsim.Metrics.Large;
+      overall_mean_ms = 1e3 *. Engine.Stats.mean (Netsim.Metrics.overall metrics);
+      flows_started = arrivals.Netsim.Workload.flows_started;
+      flows_completed = Netsim.Metrics.completed metrics;
+      drops = Netsim.Net.total_drops net;
+      cbr_deadline_fraction;
+      events_fired;
+      wall_seconds;
+    }
 
-let sweep params ~loads ~schemes =
-  List.concat_map
-    (fun load -> List.map (fun s -> run { params with load } s) schemes)
-    loads
+let run_exn ?telemetry params scheme =
+  match run ?telemetry params scheme with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Fig4.run: " ^ Qvisor.Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type job = { index : int; job_scheme : scheme; job_load : float; job_seed : int }
+
+let jobs_of_grid params ~loads ~schemes =
+  (* Outer loop over loads, inner over schemes — the same order the old
+     serial sweep produced, so result lists (and any CSV written from
+     them) are independent of how the jobs are later scheduled. *)
+  List.concat_map (fun load -> List.map (fun s -> (load, s)) schemes) loads
+  |> List.mapi (fun index (load, scheme) ->
+         {
+           index;
+           job_scheme = scheme;
+           job_load = load;
+           job_seed = Engine.Rng.derive ~seed:params.seed index;
+         })
+
+let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
+    ?(on_start = fun (_ : job) -> ()) params jobs_list =
+  let outcomes =
+    Engine.Parallel.map ?jobs
+      (fun job ->
+        on_start job;
+        run
+          ~telemetry:(telemetry_for job)
+          { params with load = job.job_load }
+          job.job_scheme)
+      jobs_list
+  in
+  (* Surface the lowest-indexed failure, mirroring what a serial run
+     would have hit first. *)
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | Ok r :: rest -> collect (r :: acc) rest
+    | Error e :: _ -> Error e
+  in
+  collect [] outcomes
+
+let sweep ?jobs ?telemetry_for ?on_start params ~loads ~schemes =
+  run_jobs ?jobs ?telemetry_for ?on_start params
+    (jobs_of_grid params ~loads ~schemes)
 
 let paper_loads = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ]
 

@@ -81,12 +81,61 @@ type result = {
           [events_fired / wall_seconds] is the engine's events/sec *)
 }
 
-val run : ?telemetry:Engine.Telemetry.t -> params -> scheme -> result
+val run :
+  ?telemetry:Engine.Telemetry.t ->
+  params ->
+  scheme ->
+  (result, Qvisor.Error.t) Stdlib.result
 (** Simulate one configuration.  [telemetry] (default: off) instruments
     the fabric ports and — for QVISOR schemes — the pre-processor, and
-    records [sim.events_fired] / [sim.wall_seconds] gauges. *)
+    records [sim.events_fired] / [sim.wall_seconds] gauges.  Fails with
+    the policy/synthesis/deployment error when the scheme's QVISOR
+    configuration is invalid — never by raising, so a run can execute on
+    a worker domain. *)
 
-val sweep : params -> loads:float list -> schemes:scheme list -> result list
+val run_exn : ?telemetry:Engine.Telemetry.t -> params -> scheme -> result
+(** @raise Invalid_argument on configuration errors. *)
+
+type job = {
+  index : int;  (** position in the serial (load-major) grid order *)
+  job_scheme : scheme;
+  job_load : float;
+  job_seed : int;
+      (** splitmix64-derived from [params.seed] and [index] — a stable
+          per-job stream for job-local concerns (e.g. trace sampling)
+          regardless of which domain runs the job *)
+}
+
+val jobs_of_grid :
+  params -> loads:float list -> schemes:scheme list -> job list
+(** One job per (load, scheme) grid point, in the order the serial sweep
+    used to run them (outer loads, inner schemes). *)
+
+val run_jobs :
+  ?jobs:int ->
+  ?telemetry_for:(job -> Engine.Telemetry.t) ->
+  ?on_start:(job -> unit) ->
+  params ->
+  job list ->
+  (result list, Qvisor.Error.t) Stdlib.result
+(** Fan the jobs out over {!Engine.Parallel} ([jobs] workers, default
+    {!Engine.Parallel.default_jobs}) and fan the results back in, in job
+    order — for any worker count the result list is identical to a serial
+    run.  [telemetry_for] supplies each job's private registry (merge
+    them afterwards with {!Engine.Telemetry.merge_into} in job order for
+    worker-count-independent snapshots); [on_start] is invoked in the
+    {e worker} domain as a job begins, so the callback must be
+    thread-safe.  The lowest-indexed failing job's error is returned. *)
+
+val sweep :
+  ?jobs:int ->
+  ?telemetry_for:(job -> Engine.Telemetry.t) ->
+  ?on_start:(job -> unit) ->
+  params ->
+  loads:float list ->
+  schemes:scheme list ->
+  (result list, Qvisor.Error.t) Stdlib.result
+(** [run_jobs] over [jobs_of_grid]. *)
 
 val paper_loads : float list
 (** 0.2 .. 0.8, the x-axis of Fig. 4. *)

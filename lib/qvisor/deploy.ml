@@ -35,11 +35,7 @@ let tier_spans (plan : Synthesizer.plan) =
          (lo, hi))
   |> List.sort compare
 
-let queue_bounds_of_plan ~(plan : Synthesizer.plan) ~num_queues =
-  let spans = tier_spans plan in
-  let n_tiers = List.length spans in
-  if num_queues < n_tiers then
-    invalid_arg "Deploy.queue_bounds_of_plan: fewer queues than strict tiers";
+let queue_bounds ~(plan : Synthesizer.plan) ~spans ~n_tiers ~num_queues =
   let widths = List.map (fun (lo, hi) -> hi - lo + 1) spans in
   let total_width = List.fold_left ( + ) 0 widths in
   (* Every tier gets one queue; extras go proportionally to width, with the
@@ -73,30 +69,49 @@ let queue_bounds_of_plan ~(plan : Synthesizer.plan) ~num_queues =
     spans;
   Array.of_list (List.rev !bounds)
 
+let queue_bounds_of_plan ~(plan : Synthesizer.plan) ~num_queues =
+  let spans = tier_spans plan in
+  let n_tiers = List.length spans in
+  if num_queues < n_tiers then
+    Error (Error.Deploy "fewer queues than strict tiers")
+  else Ok (queue_bounds ~plan ~spans ~n_tiers ~num_queues)
+
 let instantiate ~plan backend =
+  let ( let* ) = Result.bind in
   match backend with
   | Ideal_pifo { capacity_pkts } ->
-    Sched.Pifo_queue.create ~name:"qvisor-pifo" ~capacity_pkts ()
+    Ok (Sched.Pifo_queue.create ~name:"qvisor-pifo" ~capacity_pkts ())
   | Sp_bank { num_queues; queue_capacity_pkts } ->
-    let bounds = queue_bounds_of_plan ~plan ~num_queues in
-    Sched.Sp_bank.create ~name:"qvisor-sp-bank" ~num_queues
-      ~queue_capacity_pkts
-      ~classify:(fun p -> Sched.Sp_bank.queue_of_rank ~bounds p.Sched.Packet.rank)
-      ()
+    let* bounds = queue_bounds_of_plan ~plan ~num_queues in
+    Ok
+      (Sched.Sp_bank.create ~name:"qvisor-sp-bank" ~num_queues
+         ~queue_capacity_pkts
+         ~classify:(fun p ->
+           Sched.Sp_bank.queue_of_rank ~bounds p.Sched.Packet.rank)
+         ())
   | Sp_pifo { num_queues; queue_capacity_pkts } ->
-    Sched.Sp_pifo.create ~name:"qvisor-sp-pifo" ~num_queues
-      ~queue_capacity_pkts ()
+    Ok
+      (Sched.Sp_pifo.create ~name:"qvisor-sp-pifo" ~num_queues
+         ~queue_capacity_pkts ())
   | Aifo { capacity_pkts; window; k } ->
-    Sched.Aifo.create ~name:"qvisor-aifo" ~window ~k ~capacity_pkts ()
+    Ok (Sched.Aifo.create ~name:"qvisor-aifo" ~window ~k ~capacity_pkts ())
   | Drr_bank { num_queues; queue_capacity_pkts; quantum_bytes } ->
-    let bounds = queue_bounds_of_plan ~plan ~num_queues in
-    Sched.Drr_bank.create ~name:"qvisor-drr" ~num_queues ~queue_capacity_pkts
-      ~quantum_bytes
-      ~classify:(fun p -> Sched.Sp_bank.queue_of_rank ~bounds p.Sched.Packet.rank)
-      ()
+    let* bounds = queue_bounds_of_plan ~plan ~num_queues in
+    Ok
+      (Sched.Drr_bank.create ~name:"qvisor-drr" ~num_queues
+         ~queue_capacity_pkts ~quantum_bytes
+         ~classify:(fun p ->
+           Sched.Sp_bank.queue_of_rank ~bounds p.Sched.Packet.rank)
+         ())
   | Calendar { num_buckets; bucket_width; capacity_pkts } ->
-    Sched.Calendar_queue.create ~name:"qvisor-calendar" ~num_buckets
-      ~bucket_width ~capacity_pkts ()
+    Ok
+      (Sched.Calendar_queue.create ~name:"qvisor-calendar" ~num_buckets
+         ~bucket_width ~capacity_pkts ())
+
+let instantiate_exn ~plan backend =
+  match instantiate ~plan backend with
+  | Ok q -> q
+  | Error e -> invalid_arg ("Deploy.instantiate: " ^ Error.to_string e)
 
 let guarantees ~plan backend =
   match backend with
@@ -109,7 +124,7 @@ let guarantees ~plan backend =
 let pifo_tree_of_policy ~tenants ~policy ~capacity_pkts ?(prefer_decay = 0.25)
     () =
   if prefer_decay <= 0. || prefer_decay >= 1. then
-    Error "prefer_decay outside (0, 1)"
+    Error (Error.Config "prefer_decay outside (0, 1)")
   else begin
     let known = List.map (fun t -> t.Tenant.name) tenants in
     match Policy.validate policy ~known with

@@ -35,17 +35,23 @@ type guarantee_level =
       (** statistical approximation only; no per-pair worst-case
           guarantee *)
 
-val instantiate : plan:Synthesizer.plan -> backend -> Sched.Qdisc.t
+val instantiate :
+  plan:Synthesizer.plan -> backend -> (Sched.Qdisc.t, Error.t) result
 (** Build the scheduler.  For [Sp_bank] the classifier maps transformed
-    ranks to queues along the plan's strict-tier boundaries. *)
+    ranks to queues along the plan's strict-tier boundaries.  Fails with
+    {!Error.Deploy} when the backend cannot host the plan (e.g. fewer
+    queues than strict tiers). *)
+
+val instantiate_exn : plan:Synthesizer.plan -> backend -> Sched.Qdisc.t
+(** @raise Invalid_argument on deployment errors. *)
 
 val queue_bounds_of_plan :
-  plan:Synthesizer.plan -> num_queues:int -> int array
+  plan:Synthesizer.plan -> num_queues:int -> (int array, Error.t) result
 (** Upper rank bound per queue (non-decreasing).  Strict-tier boundaries
     are honoured first — each tier gets at least one dedicated queue —
-    then remaining queues are spread across the widest tiers.
-    @raise Invalid_argument if [num_queues] is smaller than the number of
-    strict tiers. *)
+    then remaining queues are spread across the widest tiers.  Fails with
+    {!Error.Deploy} if [num_queues] is smaller than the number of strict
+    tiers. *)
 
 val guarantees : plan:Synthesizer.plan -> backend -> guarantee_level
 
@@ -57,7 +63,7 @@ val pifo_tree_of_policy :
   capacity_pkts:int ->
   ?prefer_decay:float ->
   unit ->
-  (Sched.Qdisc.t, string) result
+  (Sched.Qdisc.t, Error.t) result
 (** The §5 "PIFO trees" alternative to rank transformations: compile the
     operator policy {e directly} into a hierarchical scheduler — [>>]
     becomes a strict node, [+] a WFQ node over the members' weights, [>]

@@ -1,0 +1,17 @@
+type t =
+  | Policy_parse of string
+  | Unknown_tenant of string
+  | Synthesis of string
+  | Deploy of string
+  | Config of string
+
+let to_string = function
+  | Policy_parse msg -> "policy: " ^ msg
+  | Unknown_tenant name -> "unknown tenant " ^ name
+  | Synthesis msg -> "synthesis: " ^ msg
+  | Deploy msg -> "deploy: " ^ msg
+  | Config msg -> "config: " ^ msg
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal (a : t) b = a = b

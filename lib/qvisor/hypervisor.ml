@@ -4,28 +4,19 @@ type t = {
   mutable processed : int;
 }
 
-let parse_policy s =
-  match Policy.parse s with
-  | Ok p -> Ok p
-  | Error e -> Error ("policy: " ^ e)
-
 let create ?config ?guard ?(guarded = true) ~tenants ~policy () =
-  match parse_policy policy with
-  | Error _ as e -> e
-  | Ok policy -> (
-    match Runtime.create ?config ~tenants ~policy () with
-    | runtime ->
-      let guard =
-        if guarded then Some (Guard.create ?config:guard ~tenants ())
-        else None
-      in
-      Ok { runtime; guard; processed = 0 }
-    | exception Invalid_argument e -> Error e)
+  let ( let* ) = Result.bind in
+  let* policy = Policy.parse policy in
+  let* runtime = Runtime.create ?config ~tenants ~policy () in
+  let guard =
+    if guarded then Some (Guard.create ?config:guard ~tenants ()) else None
+  in
+  Ok { runtime; guard; processed = 0 }
 
 let create_exn ?config ?guard ?guarded ~tenants ~policy () =
   match create ?config ?guard ?guarded ~tenants ~policy () with
   | Ok t -> t
-  | Error e -> invalid_arg ("Hypervisor.create: " ^ e)
+  | Error e -> invalid_arg ("Hypervisor.create: " ^ Error.to_string e)
 
 let process t p =
   t.processed <- t.processed + 1;
@@ -37,6 +28,9 @@ let process t p =
 
 let make_scheduler t backend =
   Deploy.instantiate ~plan:(Runtime.plan t.runtime) backend
+
+let make_scheduler_exn t backend =
+  Deploy.instantiate_exn ~plan:(Runtime.plan t.runtime) backend
 
 let plan t = Runtime.plan t.runtime
 
@@ -52,14 +46,13 @@ let verdict t ~tenant_id =
   | None -> Guard.Conforming
   | Some guard -> Guard.verdict guard ~tenant_id
 
+let parse_policy_opt = function
+  | None -> Ok None
+  | Some s -> Result.map Option.some (Policy.parse s)
+
 let add_tenant t tenant ?policy () =
-  let policy =
-    match policy with
-    | None -> Ok None
-    | Some s -> Result.map Option.some (parse_policy s)
-  in
-  match policy with
-  | Error _ as e -> Result.map ignore e
+  match parse_policy_opt policy with
+  | Error e -> Error e
   | Ok policy -> (
     match Runtime.add_tenant t.runtime tenant ?policy () with
     | Ok () ->
@@ -68,13 +61,8 @@ let add_tenant t tenant ?policy () =
     | Error _ as e -> e)
 
 let remove_tenant t ~tenant_id ?policy () =
-  let policy =
-    match policy with
-    | None -> Ok None
-    | Some s -> Result.map Option.some (parse_policy s)
-  in
-  match policy with
-  | Error _ as e -> Result.map ignore e
+  match parse_policy_opt policy with
+  | Error e -> Error e
   | Ok policy -> (
     match Runtime.remove_tenant t.runtime ~tenant_id ?policy () with
     | Ok () ->

@@ -17,9 +17,11 @@ val create :
   tenants:Tenant.t list ->
   policy:string ->
   unit ->
-  (t, string) result
+  (t, Error.t) result
 (** [guarded] (default [true]) arms the adversarial-workload guard with
-    [guard] (default {!Guard.default_config}). *)
+    [guard] (default {!Guard.default_config}).  Fails with
+    {!Error.Policy_parse} on a malformed policy string, otherwise with
+    the synthesis error when the initial plan cannot be built. *)
 
 val create_exn :
   ?config:Synthesizer.config ->
@@ -34,8 +36,12 @@ val process : t -> Sched.Packet.t -> unit
 (** The data-plane path: guard observation and mitigation (when armed),
     runtime observation, rank transformation. *)
 
-val make_scheduler : t -> Deploy.backend -> Sched.Qdisc.t
-(** Instantiate the hardware scheduler for the current plan. *)
+val make_scheduler : t -> Deploy.backend -> (Sched.Qdisc.t, Error.t) result
+(** Instantiate the hardware scheduler for the current plan (see
+    {!Deploy.instantiate}). *)
+
+val make_scheduler_exn : t -> Deploy.backend -> Sched.Qdisc.t
+(** @raise Invalid_argument on deployment errors. *)
 
 val plan : t -> Synthesizer.plan
 
@@ -58,13 +64,15 @@ val compile_pipeline :
 val verdict : t -> tenant_id:int -> Guard.verdict
 (** [Conforming] when the guard is not armed. *)
 
-val add_tenant : t -> Tenant.t -> ?policy:string -> unit -> (unit, string) result
+val add_tenant :
+  t -> Tenant.t -> ?policy:string -> unit -> (unit, Error.t) result
 (** Tenant joins; re-synthesizes and hot-swaps (see {!Runtime.add_tenant}).
     The guard, when armed, starts watching the newcomer. *)
 
-val remove_tenant : t -> tenant_id:int -> ?policy:string -> unit -> (unit, string) result
+val remove_tenant :
+  t -> tenant_id:int -> ?policy:string -> unit -> (unit, Error.t) result
 
-val refresh : t -> (unit, string) result
+val refresh : t -> (unit, Error.t) result
 (** Re-synthesize from observed rank ranges ({!Runtime.refresh}). *)
 
 val packets_processed : t -> int

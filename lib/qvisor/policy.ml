@@ -101,12 +101,16 @@ let parse_tokens tokens =
     with Parse_error e -> Error e)
 
 let parse input =
-  match lex input with Error e -> Error e | Ok tokens -> parse_tokens tokens
+  let wrap = Result.map_error (fun e -> Error.Policy_parse e) in
+  match lex input with
+  | Error e -> Error (Error.Policy_parse e)
+  | Ok tokens -> wrap (parse_tokens tokens)
 
 let parse_exn input =
   match parse input with
   | Ok t -> t
-  | Error e -> invalid_arg ("Policy.parse: " ^ e)
+  | Error (Error.Policy_parse e) -> invalid_arg ("Policy.parse: " ^ e)
+  | Error e -> invalid_arg ("Policy.parse: " ^ Error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering and queries                                              *)
@@ -133,20 +137,34 @@ let rec tenant_names = function
   | Tenant n -> [ n ]
   | Share l | Prefer l | Strict l -> List.concat_map tenant_names l
 
+module StringSet = Set.Make (String)
+
 let validate t ~known =
   let names = tenant_names t in
-  let rec find_dup seen = function
-    | [] -> None
-    | n :: rest -> if List.mem n seen then Some n else find_dup (n :: seen) rest
-  in
-  match find_dup [] names with
-  | Some n -> Error (Printf.sprintf "tenant %s appears more than once" n)
+  let known_set = StringSet.of_list known in
+  (* Report an unknown name before a duplicate: "TX appears twice" is a
+     red herring when the real problem is that TX is not a tenant at
+     all. *)
+  match List.find_opt (fun n -> not (StringSet.mem n known_set)) names with
+  | Some n -> Error (Error.Unknown_tenant n)
   | None -> (
-    match List.find_opt (fun n -> not (List.mem n known)) names with
-    | Some n -> Error (Printf.sprintf "unknown tenant %s in policy" n)
+    let rec find_dup seen = function
+      | [] -> None
+      | n :: rest ->
+        if StringSet.mem n seen then Some n
+        else find_dup (StringSet.add n seen) rest
+    in
+    match find_dup StringSet.empty names with
+    | Some n ->
+      Error
+        (Error.Synthesis (Printf.sprintf "tenant %s appears more than once" n))
     | None -> (
-      match List.find_opt (fun n -> not (List.mem n names)) known with
-      | Some n -> Error (Printf.sprintf "tenant %s not covered by policy" n)
+      let name_set = StringSet.of_list names in
+      match List.find_opt (fun n -> not (StringSet.mem n name_set)) known with
+      | Some n ->
+        Error
+          (Error.Synthesis
+             (Printf.sprintf "tenant %s not covered by policy" n))
       | None -> Ok ()))
 
 let strict_tiers = function Strict l -> l | other -> [ other ]

@@ -24,10 +24,10 @@ type t =
   | Prefer of t list  (** [>], ordered, two or more members *)
   | Strict of t list  (** [>>], ordered, two or more members *)
 
-val parse : string -> (t, string) result
+val parse : string -> (t, Error.t) result
 (** Parse a policy string.  Tenant names match [\[A-Za-z_\]\[A-Za-z0-9_\]*].
     Braces (as in the paper's notation [{T1 >> T2}]) are accepted and
-    ignored; parentheses group.  Errors are human-readable. *)
+    ignored; parentheses group.  Fails with {!Error.Policy_parse}. *)
 
 val parse_exn : string -> t
 (** @raise Invalid_argument on parse errors. *)
@@ -40,9 +40,12 @@ val to_string : t -> string
 val tenant_names : t -> string list
 (** All tenant names, left to right. *)
 
-val validate : t -> known:string list -> (unit, string) result
-(** Check that each policy name is a known tenant, appears only once, and
-    that every known tenant is covered by the policy. *)
+val validate : t -> known:string list -> (unit, Error.t) result
+(** Check that each policy name is a known tenant ({!Error.Unknown_tenant}
+    otherwise — reported before any other defect, since an unknown name
+    usually explains the rest), appears only once, and that every known
+    tenant is covered by the policy (both {!Error.Synthesis}).  Runs in
+    [O(n log n)] over the tenant count. *)
 
 val strict_tiers : t -> t list
 (** The top-level strict-priority tiers, highest priority first (a

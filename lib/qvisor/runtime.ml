@@ -34,19 +34,26 @@ let create ?(config = Synthesizer.default_config)
     ?(telemetry = Engine.Telemetry.disabled) ?(clock = fun () -> 0.) ~tenants
     ~policy () =
   match synthesize_now config tenants policy with
-  | Error e -> invalid_arg ("Runtime.create: " ^ e)
+  | Error e -> Error e
   | Ok plan ->
-    {
-      config;
-      tenants;
-      policy;
-      pre = Preprocessor.of_plan ~telemetry plan;
-      observations = Hashtbl.create 16;
-      resyntheses = 0;
-      tel = telemetry;
-      clock;
-      resynthesis_count = Engine.Telemetry.counter telemetry "runtime.resyntheses";
-    }
+    Ok
+      {
+        config;
+        tenants;
+        policy;
+        pre = Preprocessor.of_plan ~telemetry plan;
+        observations = Hashtbl.create 16;
+        resyntheses = 0;
+        tel = telemetry;
+        clock;
+        resynthesis_count =
+          Engine.Telemetry.counter telemetry "runtime.resyntheses";
+      }
+
+let create_exn ?config ?telemetry ?clock ~tenants ~policy () =
+  match create ?config ?telemetry ?clock ~tenants ~policy () with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Runtime.create: " ^ Error.to_string e)
 
 let observe t (p : Sched.Packet.t) =
   let id = p.Sched.Packet.tenant in
@@ -109,7 +116,9 @@ let redeploy t tenants policy =
 
 let add_tenant t tenant ?policy () =
   if List.exists (fun x -> x.Tenant.id = tenant.Tenant.id) t.tenants then
-    Error (Printf.sprintf "tenant id %d already present" tenant.Tenant.id)
+    Error
+      (Error.Config
+         (Printf.sprintf "tenant id %d already present" tenant.Tenant.id))
   else begin
     let policy = Option.value policy ~default:t.policy in
     redeploy t (t.tenants @ [ tenant ]) policy
@@ -117,7 +126,7 @@ let add_tenant t tenant ?policy () =
 
 let remove_tenant t ~tenant_id ?policy () =
   if not (List.exists (fun x -> x.Tenant.id = tenant_id) t.tenants) then
-    Error (Printf.sprintf "tenant id %d not present" tenant_id)
+    Error (Error.Unknown_tenant (Printf.sprintf "id %d" tenant_id))
   else begin
     let tenants = List.filter (fun x -> x.Tenant.id <> tenant_id) t.tenants in
     let policy = Option.value policy ~default:t.policy in

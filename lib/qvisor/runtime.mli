@@ -15,16 +15,26 @@ val create :
   tenants:Tenant.t list ->
   policy:Policy.t ->
   unit ->
-  t
+  (t, Error.t) result
 (** Build the controller, synthesize the initial plan, and compile the
-    pre-processor.
+    pre-processor.  Fails with the initial synthesis error when there is
+    one.
 
     [telemetry] (default: off) is threaded to the pre-processor and
     counts every successful re-synthesis under [runtime.resyntheses];
     when the registry carries a trace sink, each re-synthesis is offered
     as a ["resynthesis"] event stamped with [clock ()] (default [0.] —
-    pass [fun () -> Engine.Sim.now sim] inside a simulation).
-    @raise Invalid_argument if the initial synthesis fails. *)
+    pass [fun () -> Engine.Sim.now sim] inside a simulation). *)
+
+val create_exn :
+  ?config:Synthesizer.config ->
+  ?telemetry:Engine.Telemetry.t ->
+  ?clock:(unit -> float) ->
+  tenants:Tenant.t list ->
+  policy:Policy.t ->
+  unit ->
+  t
+(** @raise Invalid_argument if the initial synthesis fails. *)
 
 val process : t -> Sched.Packet.t -> unit
 (** The line-rate path: observe the packet's rank label for its tenant's
@@ -46,18 +56,20 @@ val observed_range : t -> tenant_id:int -> (int * int) option
 (** Smallest and largest raw rank seen from a tenant since the last
     [refresh] reset ([None] before any packet). *)
 
-val add_tenant : t -> Tenant.t -> ?policy:Policy.t -> unit -> (unit, string) result
+val add_tenant :
+  t -> Tenant.t -> ?policy:Policy.t -> unit -> (unit, Error.t) result
 (** A tenant joins (the paper's t1 moment in Fig. 2).  A new policy
     covering the extended population must be supplied via [?policy] unless
     the current one already names the tenant.  On success the plan is
     re-synthesized and swapped in. *)
 
-val remove_tenant : t -> tenant_id:int -> ?policy:Policy.t -> unit -> (unit, string) result
+val remove_tenant :
+  t -> tenant_id:int -> ?policy:Policy.t -> unit -> (unit, Error.t) result
 (** A tenant leaves.  [?policy] replaces the operator policy when the
     current one would still name the departed tenant (which it normally
     does). *)
 
-val refresh : t -> (unit, string) result
+val refresh : t -> (unit, Error.t) result
 (** Re-synthesize using the {e observed} rank ranges instead of the
     declared ones (tenants that emitted nothing keep their declaration),
     then reset the observation window.  This is the paper's "compute

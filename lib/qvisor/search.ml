@@ -36,30 +36,32 @@ let demote_last policy =
     None
 
 let fit ?config ~tenants ~policy ~resources () =
-  if resources.num_queues <= 0 then Error "num_queues <= 0"
+  if resources.num_queues <= 0 then Error (Error.Config "num_queues <= 0")
   else begin
     let rec search current demotions =
       if required_queues current <= resources.num_queues then begin
         match Synthesizer.synthesize ?config ~tenants ~policy:current () with
         | Error e -> Error e
-        | Ok plan ->
-          let bounds =
+        | Ok plan -> (
+          match
             Deploy.queue_bounds_of_plan ~plan ~num_queues:resources.num_queues
-          in
-          Ok
-            {
-              original = policy;
-              relaxed = current;
-              demotions = List.rev demotions;
-              plan;
-              bounds;
-              exact_fit = demotions = [];
-            }
+          with
+          | Error e -> Error e
+          | Ok bounds ->
+            Ok
+              {
+                original = policy;
+                relaxed = current;
+                demotions = List.rev demotions;
+                plan;
+                bounds;
+                exact_fit = demotions = [];
+              })
       end
       else begin
         match demote_last current with
         | Some (relaxed, demotion) -> search relaxed (demotion :: demotions)
-        | None -> Error "policy cannot be relaxed further"
+        | None -> Error (Error.Deploy "policy cannot be relaxed further")
       end
     in
     search policy []

@@ -39,7 +39,7 @@ val fit :
   policy:Policy.t ->
   resources:resources ->
   unit ->
-  (proposal, string) result
+  (proposal, Error.t) result
 (** Find the closest deployable policy.  Returns an error only when even
     the fully-relaxed policy (a single tier) cannot be synthesized, or
     the inputs are invalid ([num_queues <= 0], unknown tenants, ...). *)

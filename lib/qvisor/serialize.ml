@@ -5,7 +5,10 @@ let ( let* ) = Result.bind
 let field name json ~conv ~what =
   match Option.bind (J.member name json) conv with
   | Some v -> Ok v
-  | None -> Error (Printf.sprintf "missing or ill-typed field %S in %s" name what)
+  | None ->
+    Error
+      (Error.Config
+         (Printf.sprintf "missing or ill-typed field %S in %s" name what))
 
 let tenant_to_json (t : Tenant.t) =
   J.Obj
@@ -27,13 +30,13 @@ let tenant_of_json json =
   let* weight = field "weight" json ~conv:J.to_float ~what:"tenant" in
   match Tenant.make ~algorithm ~rank_lo ~rank_hi ~weight ~id ~name () with
   | t -> Ok t
-  | exception Invalid_argument e -> Error e
+  | exception Invalid_argument e -> Error (Error.Config e)
 
 let policy_to_json policy = J.String (Policy.to_string policy)
 
 let policy_of_json json =
   match J.to_str json with
-  | None -> Error "policy must be a string"
+  | None -> Error (Error.Config "policy must be a string")
   | Some s -> Policy.parse s
 
 let rec transform_to_json = function
@@ -137,7 +140,7 @@ let spec_of_json json =
   let* policy_json =
     match J.member "policy" json with
     | Some p -> Ok p
-    | None -> Error "missing field \"policy\" in spec"
+    | None -> Error (Error.Config "missing field \"policy\" in spec")
   in
   let* policy = policy_of_json policy_json in
   Ok (tenants, policy)

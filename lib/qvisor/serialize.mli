@@ -8,12 +8,12 @@
 
 val tenant_to_json : Tenant.t -> Engine.Json.t
 
-val tenant_of_json : Engine.Json.t -> (Tenant.t, string) result
+val tenant_of_json : Engine.Json.t -> (Tenant.t, Error.t) result
 
 val policy_to_json : Policy.t -> Engine.Json.t
 (** Encoded as the operator-syntax string (the canonical form). *)
 
-val policy_of_json : Engine.Json.t -> (Policy.t, string) result
+val policy_of_json : Engine.Json.t -> (Policy.t, Error.t) result
 
 val transform_to_json : Transform.t -> Engine.Json.t
 
@@ -26,4 +26,4 @@ val spec_to_json : tenants:Tenant.t list -> policy:Policy.t -> Engine.Json.t
 (** The full input specification: what an operator would persist. *)
 
 val spec_of_json :
-  Engine.Json.t -> (Tenant.t list * Policy.t, string) result
+  Engine.Json.t -> (Tenant.t list * Policy.t, Error.t) result

@@ -102,28 +102,28 @@ let rec allocate config tenants_by_name node band =
 let synthesize ?(config = default_config) ~tenants ~policy () =
   let ( let* ) r f = Result.bind r f in
   let* () =
-    if config.rank_lo > config.rank_hi then Error "empty rank space"
+    if config.rank_lo > config.rank_hi then Error (Error.Config "empty rank space")
     else if config.prefer_bias <= 0. || config.prefer_bias > 1. then
-      Error "prefer_bias outside (0, 1]"
+      Error (Error.Config "prefer_bias outside (0, 1]")
     else Ok ()
   in
   let known = List.map (fun t -> t.Tenant.name) tenants in
   let* () =
     if List.length (List.sort_uniq compare known) <> List.length known then
-      Error "duplicate tenant names"
+      Error (Error.Synthesis "duplicate tenant names")
     else Ok ()
   in
   let* () = Policy.validate policy ~known in
   let* () =
     let ids = List.map (fun t -> t.Tenant.id) tenants in
     if List.length (List.sort_uniq compare ids) <> List.length ids then
-      Error "duplicate tenant ids"
+      Error (Error.Synthesis "duplicate tenant ids")
     else Ok ()
   in
   let* () =
     let needed = List.length tenants in
     if config.rank_hi - config.rank_lo + 1 < needed then
-      Error "rank space narrower than the tenant count"
+      Error (Error.Synthesis "rank space narrower than the tenant count")
     else Ok ()
   in
   let tenants_by_name = List.map (fun t -> (t.Tenant.name, t)) tenants in
@@ -148,7 +148,7 @@ let synthesize ?(config = default_config) ~tenants ~policy () =
 let synthesize_exn ?config ~tenants ~policy () =
   match synthesize ?config ~tenants ~policy () with
   | Ok plan -> plan
-  | Error e -> invalid_arg ("Synthesizer.synthesize: " ^ e)
+  | Error e -> invalid_arg ("Synthesizer.synthesize: " ^ Error.to_string e)
 
 let find plan ~tenant_id =
   List.find_opt (fun a -> a.tenant.Tenant.id = tenant_id) plan.assignments

@@ -55,13 +55,16 @@ val default_config : config
 
 val synthesize :
   ?config:config -> tenants:Tenant.t list -> policy:Policy.t -> unit ->
-  (plan, string) result
-(** Build the joint scheduling function.  Fails (with a message) when the
-    policy names unknown tenants, misses tenants, repeats a tenant, tenant
-    ids collide, or the rank space is too narrow for the tenant count. *)
+  (plan, Error.t) result
+(** Build the joint scheduling function.  Fails with
+    {!Error.Unknown_tenant} when the policy names a tenant that was not
+    declared, {!Error.Synthesis} when the policy misses or repeats a
+    tenant, tenant ids collide, or the rank space is too narrow for the
+    tenant count, and {!Error.Config} for an invalid [config]. *)
 
 val synthesize_exn :
   ?config:config -> tenants:Tenant.t list -> policy:Policy.t -> unit -> plan
+(** @raise Invalid_argument on any synthesis error. *)
 
 val transform_of : plan -> tenant_id:int -> Transform.t
 (** The transformation for a tenant id ([fallback] when absent). *)

@@ -20,9 +20,14 @@ type t = {
 
 let header_bytes = 58
 
-let uid_counter = ref 0
+(* Domain-local, not a shared global: [uid] only breaks rank ties between
+   packets of the same simulation, and a simulation runs entirely on one
+   domain — so per-domain counters keep tie-breaking deterministic when
+   independent simulations run on parallel worker domains (a shared
+   counter would interleave differently on every run). *)
+let uid_counter = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_uid_counter () = uid_counter := 0
+let reset_uid_counter () = Domain.DLS.get uid_counter := 0
 
 let make ?(kind = Data) ?(tenant = 0) ?(src = 0) ?(dst = 0) ?(seq = 0) ?payload
     ?remaining ?(deadline = infinity) ?(created_at = 0.) ?(rank = 0) ~flow
@@ -31,9 +36,10 @@ let make ?(kind = Data) ?(tenant = 0) ?(src = 0) ?(dst = 0) ?(seq = 0) ?payload
     match payload with Some p -> p | None -> max 0 (size - header_bytes)
   in
   let remaining = match remaining with Some r -> r | None -> payload in
-  incr uid_counter;
+  let counter = Domain.DLS.get uid_counter in
+  incr counter;
   {
-    uid = !uid_counter;
+    uid = !counter;
     kind;
     flow;
     tenant;

@@ -65,4 +65,7 @@ val compare_rank : t -> t -> int
 val pp : Format.formatter -> t -> unit
 
 val reset_uid_counter : unit -> unit
-(** Reset the global uid counter — for deterministic unit tests only. *)
+(** Reset the calling domain's uid counter — for deterministic unit
+    tests only.  The counter is domain-local so that independent
+    simulations on parallel worker domains allocate uids (the rank
+    tie-breaker) deterministically. *)

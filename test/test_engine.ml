@@ -585,6 +585,157 @@ let test_ts_out_of_order () =
   Alcotest.(check int) "span" 5 (List.length (Engine.Timeseries.buckets ts))
 
 (* ------------------------------------------------------------------ *)
+(* Merge machinery (P², Timeseries)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_p2_merge_small_exact () =
+  (* Sketches with <= 5 observations replay raw values: merging two small
+     sketches equals one sketch fed everything. *)
+  let a = Engine.P2_quantile.create ~q:0.5 in
+  let b = Engine.P2_quantile.create ~q:0.5 in
+  List.iter (Engine.P2_quantile.add a) [ 1.; 9. ];
+  List.iter (Engine.P2_quantile.add b) [ 5.; 3. ];
+  Engine.P2_quantile.merge_into ~into:a b;
+  let direct = Engine.P2_quantile.create ~q:0.5 in
+  List.iter (Engine.P2_quantile.add direct) [ 1.; 9.; 5.; 3. ];
+  Alcotest.(check int) "counts add" 4 (Engine.P2_quantile.count a);
+  check_float "small merge exact" (Engine.P2_quantile.estimate direct)
+    (Engine.P2_quantile.estimate a)
+
+let test_p2_merge_deterministic () =
+  let build () =
+    let sketches =
+      List.init 3 (fun k ->
+          let s = Engine.P2_quantile.create ~q:0.9 in
+          for i = 0 to 99 do
+            Engine.P2_quantile.add s (float_of_int (i + (100 * k)))
+          done;
+          s)
+    in
+    let into = Engine.P2_quantile.create ~q:0.9 in
+    List.iter (fun s -> Engine.P2_quantile.merge_into ~into s) sketches;
+    Engine.P2_quantile.estimate into
+  in
+  check_float "same merge order, same estimate" (build ()) (build ());
+  (* The approximate merge must still land inside the observed range and
+     near the true p90 of 0..299. *)
+  let e = build () in
+  Alcotest.(check bool) "estimate plausible" true (e > 200. && e < 300.)
+
+let test_p2_merge_empty_and_mismatch () =
+  let a = Engine.P2_quantile.create ~q:0.5 in
+  Engine.P2_quantile.add a 4.;
+  let empty = Engine.P2_quantile.create ~q:0.5 in
+  Engine.P2_quantile.merge_into ~into:a empty;
+  Alcotest.(check int) "empty src is a no-op" 1 (Engine.P2_quantile.count a);
+  let other = Engine.P2_quantile.create ~q:0.99 in
+  Alcotest.(check bool) "quantile mismatch rejected" true
+    (try
+       Engine.P2_quantile.merge_into ~into:a other;
+       false
+     with Invalid_argument _ -> true)
+
+let test_ts_merge () =
+  let a = Engine.Timeseries.create ~bucket:1.0 () in
+  let b = Engine.Timeseries.create ~bucket:1.0 () in
+  Engine.Timeseries.add a ~time:0.5 1.;
+  Engine.Timeseries.add b ~time:0.5 2.;
+  Engine.Timeseries.add b ~time:3.5 4.;
+  Engine.Timeseries.merge_into ~into:a b;
+  check_float "totals add" 7. (Engine.Timeseries.total a);
+  (match Engine.Timeseries.buckets a with
+  | (t0, v0) :: _ ->
+    check_float "first bucket time" 0. t0;
+    check_float "first bucket sums" 3. v0
+  | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check int) "span covers src" 4
+    (List.length (Engine.Timeseries.buckets a));
+  let wide = Engine.Timeseries.create ~bucket:2.0 () in
+  Alcotest.(check bool) "bucket mismatch rejected" true
+    (try
+       Engine.Timeseries.merge_into ~into:a wide;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Rng.derive                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_derive () =
+  let s1 = Engine.Rng.derive ~seed:1 0 in
+  Alcotest.(check int) "deterministic" s1 (Engine.Rng.derive ~seed:1 0);
+  Alcotest.(check bool) "index-sensitive" true
+    (s1 <> Engine.Rng.derive ~seed:1 1);
+  Alcotest.(check bool) "seed-sensitive" true
+    (s1 <> Engine.Rng.derive ~seed:2 0);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "non-negative" true
+        (Engine.Rng.derive ~seed:12345 i >= 0))
+    [ 0; 1; 7; 1000 ];
+  Alcotest.(check bool) "negative index rejected" true
+    (try
+       ignore (Engine.Rng.derive ~seed:1 (-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_default_jobs () =
+  Alcotest.(check bool) "at least one worker" true
+    (Engine.Parallel.default_jobs () >= 1)
+
+let test_parallel_empty () =
+  Alcotest.(check (list int)) "empty in, empty out (serial)" []
+    (Engine.Parallel.map ~jobs:1 (fun x -> x) []);
+  Alcotest.(check (list int)) "empty in, empty out (parallel)" []
+    (Engine.Parallel.map ~jobs:4 (fun x -> x) [])
+
+let test_parallel_ordering () =
+  let items = List.init 50 Fun.id in
+  let expected = List.map (fun x -> x * x) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order preserved at jobs=%d" jobs)
+        expected
+        (Engine.Parallel.map ~jobs (fun x -> x * x) items))
+    [ 1; 2; 4; 8 ]
+
+exception Boom of int
+
+let test_parallel_try_map_errors () =
+  let results =
+    Engine.Parallel.try_map ~jobs:4
+      (fun x -> if x = 2 then raise (Boom x) else x * 10)
+      [ 0; 1; 2; 3 ]
+  in
+  let expect i = function
+    | Ok v -> Alcotest.(check int) "ok value" (i * 10) v
+    | Error (Boom n) when i = 2 -> Alcotest.(check int) "failing item" 2 n
+    | Error e -> Alcotest.failf "unexpected error: %s" (Printexc.to_string e)
+  in
+  Alcotest.(check int) "arity" 4 (List.length results);
+  List.iteri
+    (fun i r ->
+      if i = 2 then
+        match r with
+        | Error (Boom 2) -> ()
+        | _ -> Alcotest.fail "index 2 should carry Boom"
+      else expect i r)
+    results
+
+let test_parallel_map_reraises () =
+  Alcotest.(check bool) "map re-raises the worker exception" true
+    (try
+       ignore (Engine.Parallel.map ~jobs:4 (fun x -> if x >= 3 then raise (Boom x) else x)
+                 [ 0; 1; 2; 3; 4 ]);
+       false
+     with Boom 3 -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Json                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -751,6 +902,17 @@ let () =
           Alcotest.test_case "empty" `Quick test_ts_empty;
           Alcotest.test_case "invalid" `Quick test_ts_invalid;
           Alcotest.test_case "out of order" `Quick test_ts_out_of_order;
+          Alcotest.test_case "merge" `Quick test_ts_merge;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "default jobs" `Quick test_parallel_default_jobs;
+          Alcotest.test_case "empty input" `Quick test_parallel_empty;
+          Alcotest.test_case "ordering preserved" `Quick test_parallel_ordering;
+          Alcotest.test_case "try_map errors" `Quick test_parallel_try_map_errors;
+          Alcotest.test_case "map re-raises first" `Quick
+            test_parallel_map_reraises;
+          Alcotest.test_case "rng derive" `Quick test_rng_derive;
         ] );
       ( "json",
         [
@@ -769,6 +931,11 @@ let () =
           Alcotest.test_case "small stream exact" `Quick test_p2_small_stream_exact;
           Alcotest.test_case "empty" `Quick test_p2_empty;
           Alcotest.test_case "invalid q" `Quick test_p2_invalid_q;
+          Alcotest.test_case "merge small exact" `Quick test_p2_merge_small_exact;
+          Alcotest.test_case "merge deterministic" `Quick
+            test_p2_merge_deterministic;
+          Alcotest.test_case "merge empty/mismatch" `Quick
+            test_p2_merge_empty_and_mismatch;
           qc prop_p2_within_range;
         ] );
     ]

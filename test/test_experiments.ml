@@ -11,7 +11,7 @@ let tiny_params =
     load = 0.5;
   }
 
-let run scheme = Experiments.Fig4.run tiny_params scheme
+let run scheme = Experiments.Fig4.run_exn tiny_params scheme
 
 (* ------------------------------------------------------------------ *)
 (* Harness invariants                                                 *)
@@ -30,7 +30,7 @@ let test_deterministic_runs () =
 let test_seed_changes_runs () =
   let a = run Experiments.Fig4.Pifo_pfabric_only in
   let b =
-    Experiments.Fig4.run
+    Experiments.Fig4.run_exn
       { tiny_params with Experiments.Fig4.seed = 2 }
       Experiments.Fig4.Pifo_pfabric_only
   in
@@ -76,12 +76,114 @@ let test_qvisor_tracks_ideal () =
 
 let test_tree_backend_runs () =
   let r =
-    Experiments.Fig4.run
+    Experiments.Fig4.run_exn
       { tiny_params with Experiments.Fig4.tree_backend = true }
       (Experiments.Fig4.Qvisor_policy "pfabric >> edf")
   in
   Alcotest.(check bool) "tree backend completes flows" true
     (r.Experiments.Fig4.flows_completed > 0)
+
+let test_run_reports_bad_policy () =
+  match
+    Experiments.Fig4.run tiny_params
+      (Experiments.Fig4.Qvisor_policy "pfabric >> nosuch")
+  with
+  | Ok _ -> Alcotest.fail "expected a policy error"
+  | Error e ->
+    Alcotest.(check bool) "unknown-tenant error" true
+      (match e with Qvisor.Error.Unknown_tenant _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep determinism                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* wall_seconds is wall-clock (and so is the sim.wall_seconds gauge):
+   zero both before comparing runs. *)
+let strip r = { r with Experiments.Fig4.wall_seconds = 0. }
+
+let sweep_loads = [ 0.3; 0.6 ]
+
+let sweep_schemes =
+  [
+    Experiments.Fig4.Pifo_pfabric_only;
+    Experiments.Fig4.Qvisor_policy "pfabric >> edf";
+  ]
+
+(* Run the sweep with per-job registries and merge them in job order —
+   the same shape bin/experiments.exe uses — returning the stripped
+   result rows and the merged snapshot. *)
+let sweep_with ~jobs =
+  let grid =
+    Experiments.Fig4.jobs_of_grid tiny_params ~loads:sweep_loads
+      ~schemes:sweep_schemes
+  in
+  let tels =
+    List.map
+      (fun j -> (j.Experiments.Fig4.index, Engine.Telemetry.create ()))
+      grid
+  in
+  let telemetry_for j = List.assoc j.Experiments.Fig4.index tels in
+  match Experiments.Fig4.run_jobs ~jobs ~telemetry_for tiny_params grid with
+  | Error e -> Alcotest.failf "sweep failed: %s" (Qvisor.Error.to_string e)
+  | Ok results ->
+    let merged = Engine.Telemetry.create () in
+    List.iter
+      (fun (_, tel) -> Engine.Telemetry.merge_into ~into:merged tel)
+      tels;
+    Engine.Telemetry.Gauge.set
+      (Engine.Telemetry.gauge merged "sim.wall_seconds")
+      0.;
+    ( List.map strip results,
+      Engine.Json.to_string (Engine.Telemetry.snapshot merged) )
+
+let test_jobs_invariant_results () =
+  let serial, snap1 = sweep_with ~jobs:1 in
+  let four, snap4 = sweep_with ~jobs:4 in
+  Alcotest.(check (list string)) "identical CSV rows"
+    (List.map Experiments.Export.fig4_row serial)
+    (List.map Experiments.Export.fig4_row four);
+  Alcotest.(check string) "identical merged telemetry" snap1 snap4
+
+let test_jobs_of_grid_order_and_seeds () =
+  let grid =
+    Experiments.Fig4.jobs_of_grid tiny_params ~loads:sweep_loads
+      ~schemes:sweep_schemes
+  in
+  Alcotest.(check int) "grid size" 4 (List.length grid);
+  List.iteri
+    (fun i j -> Alcotest.(check int) "indexes are serial order" i
+        j.Experiments.Fig4.index)
+    grid;
+  (* Load-major: the first |schemes| jobs carry the first load. *)
+  (match grid with
+  | a :: b :: c :: _ ->
+    Alcotest.(check (float 0.)) "load-major order" a.Experiments.Fig4.job_load
+      b.Experiments.Fig4.job_load;
+    Alcotest.(check bool) "next load follows" true
+      (c.Experiments.Fig4.job_load > a.Experiments.Fig4.job_load)
+  | _ -> Alcotest.fail "unexpected grid");
+  let seeds = List.map (fun j -> j.Experiments.Fig4.job_seed) grid in
+  let distinct = List.sort_uniq compare seeds in
+  Alcotest.(check int) "derived seeds distinct" (List.length seeds)
+    (List.length distinct);
+  List.iter
+    (fun s -> Alcotest.(check bool) "seeds non-negative" true (s >= 0))
+    seeds
+
+let test_sweep_error_propagates () =
+  let grid =
+    Experiments.Fig4.jobs_of_grid tiny_params ~loads:[ 0.3; 0.6 ]
+      ~schemes:
+        [
+          Experiments.Fig4.Pifo_pfabric_only;
+          Experiments.Fig4.Qvisor_policy "pfabric >> nosuch";
+        ]
+  in
+  match Experiments.Fig4.run_jobs ~jobs:2 tiny_params grid with
+  | Ok _ -> Alcotest.fail "expected the bad grid point to fail the sweep"
+  | Error (Qvisor.Error.Unknown_tenant _) -> ()
+  | Error e ->
+    Alcotest.failf "wrong error: %s" (Qvisor.Error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* CSV export                                                         *)
@@ -219,6 +321,17 @@ let () =
           Alcotest.test_case "ideal has no CBR" `Slow test_ideal_has_no_cbr;
           Alcotest.test_case "qvisor tracks ideal" `Slow test_qvisor_tracks_ideal;
           Alcotest.test_case "tree backend" `Slow test_tree_backend_runs;
+          Alcotest.test_case "bad policy is an Error" `Quick
+            test_run_reports_bad_policy;
+        ] );
+      ( "parallel_sweep",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 identical" `Slow
+            test_jobs_invariant_results;
+          Alcotest.test_case "grid order and seeds" `Quick
+            test_jobs_of_grid_order_and_seeds;
+          Alcotest.test_case "error propagates" `Slow
+            test_sweep_error_propagates;
         ] );
       ( "config",
         [

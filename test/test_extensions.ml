@@ -104,7 +104,7 @@ let test_search_exact_fit () =
     Qvisor.Search.fit ~tenants:(search_tenants ())
       ~policy:(parse "A >> B >> C >> D") ~resources ()
   with
-  | Error e -> Alcotest.failf "fit failed: %s" e
+  | Error e -> Alcotest.failf "fit failed: %s" (Qvisor.Error.to_string e)
   | Ok proposal ->
     Alcotest.(check bool) "exact" true proposal.Qvisor.Search.exact_fit;
     Alcotest.(check (list (pair string string))) "no demotions" []
@@ -120,7 +120,7 @@ let test_search_demotes_lowest () =
     Qvisor.Search.fit ~tenants:(search_tenants ())
       ~policy:(parse "A >> B >> C >> D") ~resources ()
   with
-  | Error e -> Alcotest.failf "fit failed: %s" e
+  | Error e -> Alcotest.failf "fit failed: %s" (Qvisor.Error.to_string e)
   | Ok proposal ->
     Alcotest.(check bool) "not exact" false proposal.Qvisor.Search.exact_fit;
     Alcotest.(check string) "lowest >> demoted" "A >> B >> C > D"
@@ -137,7 +137,7 @@ let test_search_multiple_demotions () =
     Qvisor.Search.fit ~tenants:(search_tenants ())
       ~policy:(parse "A >> B >> C >> D") ~resources ()
   with
-  | Error e -> Alcotest.failf "fit failed: %s" e
+  | Error e -> Alcotest.failf "fit failed: %s" (Qvisor.Error.to_string e)
   | Ok proposal ->
     Alcotest.(check int) "two demotions" 2
       (List.length proposal.Qvisor.Search.demotions);
@@ -154,7 +154,7 @@ let test_search_single_queue () =
     Qvisor.Search.fit ~tenants:(search_tenants ())
       ~policy:(parse "A >> B >> C >> D") ~resources ()
   with
-  | Error e -> Alcotest.failf "fit failed: %s" e
+  | Error e -> Alcotest.failf "fit failed: %s" (Qvisor.Error.to_string e)
   | Ok proposal ->
     Alcotest.(check int) "single tier" 1
       (Qvisor.Search.required_queues proposal.Qvisor.Search.relaxed)
@@ -172,7 +172,7 @@ let test_search_plan_feasible () =
     Qvisor.Search.fit ~tenants:(search_tenants ())
       ~policy:(parse "A >> B >> C >> D") ~resources ()
   with
-  | Error e -> Alcotest.failf "fit failed: %s" e
+  | Error e -> Alcotest.failf "fit failed: %s" (Qvisor.Error.to_string e)
   | Ok proposal ->
     let report = Qvisor.Analysis.check proposal.Qvisor.Search.plan in
     Alcotest.(check bool) "relaxed plan satisfies its own policy" true
@@ -901,7 +901,7 @@ let test_hypervisor_hot_swap_live_fabric () =
               ~policy:"T1 + T2 >> T3" ()
           with
          | Ok () -> ()
-         | Error e -> Alcotest.failf "hot add failed: %s" e);
+         | Error e -> Alcotest.failf "hot add failed: %s" (Qvisor.Error.to_string e));
          start_flow ~tenant:2 ~size:100_000));
   Engine.Sim.run sim;
   Alcotest.(check (option int)) "incumbent finished" (Some 1)

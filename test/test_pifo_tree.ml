@@ -249,7 +249,7 @@ let deploy_tree policy_str =
       ~policy:(Qvisor.Policy.parse_exn policy_str) ~capacity_pkts:64 ()
   with
   | Ok q -> q
-  | Error e -> Alcotest.failf "tree deployment failed: %s" e
+  | Error e -> Alcotest.failf "tree deployment failed: %s" (Qvisor.Error.to_string e)
 
 let test_tree_backend_fig3 () =
   (* The Fig. 3 scenario through the tree backend: no pre-processor, raw

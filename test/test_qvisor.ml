@@ -87,6 +87,40 @@ let test_policy_validate () =
     (Result.is_error
        (Qvisor.Policy.validate (parse "T1 >> T1") ~known:[ "T1" ]))
 
+let test_policy_validate_error_order () =
+  (* A policy with both defects reports the unknown tenant first — an
+     unknown name usually explains the rest. *)
+  (match
+     Qvisor.Policy.validate (parse "T1 + T1 + TX") ~known:[ "T1" ]
+   with
+  | Error (Qvisor.Error.Unknown_tenant "TX") -> ()
+  | Error e ->
+    Alcotest.failf "expected unknown tenant first, got: %s"
+      (Qvisor.Error.to_string e)
+  | Ok () -> Alcotest.fail "defective policy accepted");
+  (match Qvisor.Policy.validate (parse "T1 + T1") ~known:[ "T1" ] with
+  | Error (Qvisor.Error.Synthesis msg) ->
+    Alcotest.(check bool) "duplicate reported" true
+      (String.length msg > 0)
+  | Error e ->
+    Alcotest.failf "expected duplicate error, got: %s"
+      (Qvisor.Error.to_string e)
+  | Ok () -> Alcotest.fail "duplicate accepted");
+  match Qvisor.Policy.validate (parse "T1") ~known:[ "T1"; "T2" ] with
+  | Error (Qvisor.Error.Synthesis _) -> ()
+  | Error e ->
+    Alcotest.failf "expected coverage error, got: %s"
+      (Qvisor.Error.to_string e)
+  | Ok () -> Alcotest.fail "uncovered tenant accepted"
+
+let test_policy_validate_scales () =
+  (* The set-based validation pass stays fast and correct on wide share
+     policies (the old List.mem pass was quadratic). *)
+  let names = List.init 500 (fun i -> Printf.sprintf "T%d" i) in
+  let policy = parse (String.concat " + " names) in
+  Alcotest.(check bool) "wide policy validates" true
+    (Result.is_ok (Qvisor.Policy.validate policy ~known:names))
+
 let test_policy_strict_tiers () =
   Alcotest.(check int) "three tiers" 3
     (List.length (Qvisor.Policy.strict_tiers (parse "A >> B >> C")));
@@ -112,7 +146,7 @@ let prop_policy_round_trip =
       | Ok p -> (
         let printed = Qvisor.Policy.to_string p in
         match Qvisor.Policy.parse printed with
-        | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e
+        | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" (Qvisor.Error.to_string e)
         | Ok p' -> p = p'))
 
 (* ------------------------------------------------------------------ *)
@@ -371,7 +405,7 @@ let prop_random_policies_synthesize_feasible =
     (QCheck.make policy_gen) (fun policy ->
       let tenants = tenants_for policy in
       match Qvisor.Synthesizer.synthesize ~tenants ~policy () with
-      | Error e -> QCheck.Test.fail_reportf "synthesis failed: %s" e
+      | Error e -> QCheck.Test.fail_reportf "synthesis failed: %s" (Qvisor.Error.to_string e)
       | Ok plan ->
         let report = Qvisor.Analysis.check plan in
         if not report.Qvisor.Analysis.feasible then
@@ -406,7 +440,9 @@ let prop_random_policies_round_trip_serialization =
         Qvisor.Serialize.policy_of_json (Qvisor.Serialize.policy_to_json policy)
       with
       | Ok p -> p = policy
-      | Error e -> QCheck.Test.fail_reportf "round trip failed: %s" e)
+      | Error e ->
+        QCheck.Test.fail_reportf "round trip failed: %s"
+          (Qvisor.Error.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Pre-processor + Fig. 3                                              *)
@@ -602,9 +638,14 @@ let test_analysis_paper_policy () =
 (* Deploy                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let bounds_exn ~plan ~num_queues =
+  match Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues with
+  | Ok bounds -> bounds
+  | Error e -> Alcotest.failf "queue bounds failed: %s" (Qvisor.Error.to_string e)
+
 let test_deploy_bounds_cover_space () =
   let plan = synth (three_tenants ()) "T1 >> T2 + T3" in
-  let bounds = Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:4 in
+  let bounds = bounds_exn ~plan ~num_queues:4 in
   Alcotest.(check int) "four bounds" 4 (Array.length bounds);
   Alcotest.(check int) "last bound tops the space"
     plan.Qvisor.Synthesizer.rank_hi
@@ -616,7 +657,7 @@ let test_deploy_bounds_cover_space () =
 let test_deploy_bounds_respect_tiers () =
   let plan = synth (three_tenants ()) "T1 >> T2 + T3" in
   let _, t1_hi = band plan 1 in
-  let bounds = Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:4 in
+  let bounds = bounds_exn ~plan ~num_queues:4 in
   (* Some queue boundary must sit exactly at T1's tier edge so that no
      queue mixes the tiers. *)
   Alcotest.(check bool) "tier edge on a queue boundary" true
@@ -624,17 +665,18 @@ let test_deploy_bounds_respect_tiers () =
 
 let test_deploy_too_few_queues () =
   let plan = synth (three_tenants ()) "T1 >> T2 >> T3" in
-  let raises f = try f (); false with Invalid_argument _ -> true in
-  Alcotest.(check bool) "fewer queues than tiers rejected" true
-    (raises (fun () ->
-         ignore (Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:2)))
+  match Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues:2 with
+  | Ok _ -> Alcotest.fail "fewer queues than tiers must be rejected"
+  | Error (Qvisor.Error.Deploy _) -> ()
+  | Error e ->
+    Alcotest.failf "wrong error kind: %s" (Qvisor.Error.to_string e)
 
 let test_deploy_sp_bank_preserves_strict () =
   Sched.Packet.reset_uid_counter ();
   let plan = synth (three_tenants ()) "T1 >> T2 + T3" in
   let pre = Qvisor.Preprocessor.of_plan plan in
   let q =
-    Qvisor.Deploy.instantiate ~plan
+    Qvisor.Deploy.instantiate_exn ~plan
       (Qvisor.Deploy.Sp_bank { num_queues = 4; queue_capacity_pkts = 64 })
   in
   (* Low-tier packets first, then a high-tier burst: the high tier must
@@ -679,7 +721,13 @@ let prop_deploy_bounds_total =
         Qvisor.Synthesizer.synthesize_exn ~tenants:(three_tenants ())
           ~policy:(parse "T1 >> T2 + T3") ()
       in
-      let bounds = Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues in
+      let bounds =
+        match Qvisor.Deploy.queue_bounds_of_plan ~plan ~num_queues with
+        | Ok bounds -> bounds
+        | Error e ->
+          QCheck.Test.fail_reportf "queue bounds failed: %s"
+            (Qvisor.Error.to_string e)
+      in
       let queue = Sched.Sp_bank.queue_of_rank ~bounds rank in
       let queue_next = Sched.Sp_bank.queue_of_rank ~bounds (rank + 1) in
       0 <= queue
@@ -698,7 +746,7 @@ let runtime_tenants () =
 
 let test_runtime_initial_plan () =
   let rt =
-    Qvisor.Runtime.create ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
+    Qvisor.Runtime.create_exn ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
   in
   Alcotest.(check int) "no resyntheses yet" 0 (Qvisor.Runtime.resyntheses rt);
   let plan = Qvisor.Runtime.plan rt in
@@ -707,7 +755,7 @@ let test_runtime_initial_plan () =
 
 let test_runtime_process_observes () =
   let rt =
-    Qvisor.Runtime.create ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
+    Qvisor.Runtime.create_exn ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
   in
   Alcotest.(check (option (pair int int))) "nothing observed" None
     (Qvisor.Runtime.observed_range rt ~tenant_id:1);
@@ -719,14 +767,14 @@ let test_runtime_process_observes () =
 
 let test_runtime_tenant_churn () =
   let rt =
-    Qvisor.Runtime.create ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
+    Qvisor.Runtime.create_exn ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
   in
   (* Fig. 2's t1 moment: a background tenant T3 joins at the lowest
      priority. *)
   let t3 = mk_tenant ~algorithm:"fq" ~rank_lo:0 ~rank_hi:50 3 "T3" in
   (match Qvisor.Runtime.add_tenant rt t3 ~policy:(parse "T1 >> T2 >> T3") () with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "add failed: %s" e);
+  | Error e -> Alcotest.failf "add failed: %s" (Qvisor.Error.to_string e));
   Alcotest.(check int) "one resynthesis" 1 (Qvisor.Runtime.resyntheses rt);
   let plan = Qvisor.Runtime.plan rt in
   Alcotest.(check int) "three tenants planned" 3
@@ -734,12 +782,12 @@ let test_runtime_tenant_churn () =
   (* And T1/T2 leave (Fig. 2 beyond t1). *)
   (match Qvisor.Runtime.remove_tenant rt ~tenant_id:1 ~policy:(parse "T2 >> T3") () with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "remove failed: %s" e);
+  | Error e -> Alcotest.failf "remove failed: %s" (Qvisor.Error.to_string e));
   Alcotest.(check int) "two resyntheses" 2 (Qvisor.Runtime.resyntheses rt)
 
 let test_runtime_add_duplicate_rejected () =
   let rt =
-    Qvisor.Runtime.create ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
+    Qvisor.Runtime.create_exn ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
   in
   let dup = mk_tenant 1 "T9" in
   Alcotest.(check bool) "duplicate id rejected" true
@@ -747,7 +795,7 @@ let test_runtime_add_duplicate_rejected () =
 
 let test_runtime_refresh_tightens () =
   let rt =
-    Qvisor.Runtime.create ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
+    Qvisor.Runtime.create_exn ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
   in
   (* T1 declared [0,1000] but only ever uses [0,10]: refresh should expand
      its effective resolution (its transformed band's source narrows). *)
@@ -757,7 +805,7 @@ let test_runtime_refresh_tightens () =
   Qvisor.Runtime.process rt (mk_packet ~tenant:2 ~rank:50);
   (match Qvisor.Runtime.refresh rt with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "refresh failed: %s" e);
+  | Error e -> Alcotest.failf "refresh failed: %s" (Qvisor.Error.to_string e));
   let plan = Qvisor.Runtime.plan rt in
   let a =
     List.find
@@ -776,12 +824,12 @@ let test_runtime_swap_preserves_isolation () =
   (* After a swap, packets processed through the runtime still respect the
      new plan's strict tiers. *)
   let rt =
-    Qvisor.Runtime.create ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
+    Qvisor.Runtime.create_exn ~tenants:(runtime_tenants ()) ~policy:(parse "T1 >> T2") ()
   in
   let t3 = mk_tenant ~rank_lo:0 ~rank_hi:50 3 "T3" in
   (match Qvisor.Runtime.add_tenant rt t3 ~policy:(parse "T3 >> T1 >> T2") () with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "add failed: %s" e);
+  | Error e -> Alcotest.failf "add failed: %s" (Qvisor.Error.to_string e));
   let p3 = mk_packet ~tenant:3 ~rank:50 in
   let p1 = mk_packet ~tenant:1 ~rank:0 in
   Qvisor.Runtime.process rt p3;
@@ -824,7 +872,7 @@ let test_hv_analysis_and_scheduler () =
   let report = Qvisor.Hypervisor.analyze hv in
   Alcotest.(check bool) "feasible" true report.Qvisor.Analysis.feasible;
   let q =
-    Qvisor.Hypervisor.make_scheduler hv
+    Qvisor.Hypervisor.make_scheduler_exn hv
       (Qvisor.Deploy.Ideal_pifo { capacity_pkts = 16 })
   in
   let p = mk_packet ~tenant:1 ~rank:0 in
@@ -875,12 +923,12 @@ let test_hv_churn () =
   let t3 = mk_tenant ~rank_lo:0 ~rank_hi:50 3 "T3" in
   (match Qvisor.Hypervisor.add_tenant hv t3 ~policy:"T1 >> T2 >> T3" () with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "add: %s" e);
+  | Error e -> Alcotest.failf "add: %s" (Qvisor.Error.to_string e));
   Alcotest.(check int) "three tenants planned" 3
     (List.length (Qvisor.Hypervisor.plan hv).Qvisor.Synthesizer.assignments);
   (match Qvisor.Hypervisor.remove_tenant hv ~tenant_id:3 ~policy:"T1 >> T2" () with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "remove: %s" e);
+  | Error e -> Alcotest.failf "remove: %s" (Qvisor.Error.to_string e));
   Alcotest.(check bool) "bad policy on churn rejected" true
     (Result.is_error (Qvisor.Hypervisor.add_tenant hv t3 ~policy:"T1 >>" ()))
 
@@ -906,7 +954,7 @@ let test_hv_refresh () =
   Qvisor.Hypervisor.process hv (mk_packet ~tenant:2 ~rank:50);
   (match Qvisor.Hypervisor.refresh hv with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "refresh: %s" e);
+  | Error e -> Alcotest.failf "refresh: %s" (Qvisor.Error.to_string e));
   let a =
     List.find
       (fun a -> a.Qvisor.Synthesizer.tenant.Qvisor.Tenant.id = 1)
@@ -928,13 +976,13 @@ let test_serialize_tenant_round_trip () =
     Alcotest.(check int) "lo" t.Qvisor.Tenant.rank_lo t'.Qvisor.Tenant.rank_lo;
     Alcotest.(check int) "hi" t.Qvisor.Tenant.rank_hi t'.Qvisor.Tenant.rank_hi;
     Alcotest.(check (float 1e-9)) "weight" t.Qvisor.Tenant.weight t'.Qvisor.Tenant.weight
-  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Error e -> Alcotest.failf "round trip failed: %s" (Qvisor.Error.to_string e)
 
 let test_serialize_policy_round_trip () =
   let p = parse "T1 >> T2 > (T3 + T4) >> T5" in
   match Qvisor.Serialize.policy_of_json (Qvisor.Serialize.policy_to_json p) with
   | Ok p' -> Alcotest.(check bool) "same policy" true (p = p')
-  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Error e -> Alcotest.failf "round trip failed: %s" (Qvisor.Error.to_string e)
 
 let test_serialize_spec_round_trip () =
   let tenants = three_tenants () in
@@ -959,7 +1007,8 @@ let test_serialize_spec_round_trip () =
         Alcotest.(check bool) "same band" true
           (a.Qvisor.Synthesizer.band = b.Qvisor.Synthesizer.band))
       plan.Qvisor.Synthesizer.assignments plan'.Qvisor.Synthesizer.assignments
-  | Error e -> Alcotest.failf "spec round trip failed: %s" e
+  | Error e ->
+    Alcotest.failf "spec round trip failed: %s" (Qvisor.Error.to_string e)
 
 let test_serialize_spec_errors () =
   let bad json_text =
@@ -1013,6 +1062,10 @@ let () =
           Alcotest.test_case "errors" `Quick test_policy_errors;
           Alcotest.test_case "tenant names" `Quick test_policy_tenant_names;
           Alcotest.test_case "validate" `Quick test_policy_validate;
+          Alcotest.test_case "validate error order" `Quick
+            test_policy_validate_error_order;
+          Alcotest.test_case "validate scales" `Quick
+            test_policy_validate_scales;
           Alcotest.test_case "strict tiers" `Quick test_policy_strict_tiers;
           qc prop_policy_round_trip;
         ] );

@@ -266,6 +266,61 @@ let test_instrumented_preprocessor () =
     (let m = Tel.Histogram.mean err in
      Float.is_finite m && m >= 0. && m < 100.)
 
+(* ------------------------------------------------------------------ *)
+(* Merge                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_combines_metrics () =
+  let a = Tel.create () and b = Tel.create () in
+  Tel.Counter.add (Tel.counter a "c") 2;
+  Tel.Counter.add (Tel.counter b "c") 3;
+  Tel.Counter.add (Tel.counter b "only_b") 1;
+  Tel.Gauge.set (Tel.gauge a "g") 1.;
+  Tel.Gauge.set (Tel.gauge b "g") 9.;
+  List.iter (Tel.Histogram.observe (Tel.histogram a "h")) [ 1.; 2. ];
+  List.iter (Tel.Histogram.observe (Tel.histogram b "h")) [ 3.; 4. ];
+  Tel.Series.record (Tel.series a "s") ~time:0.1 1.;
+  Tel.Series.record (Tel.series b "s") ~time:0.1 2.;
+  Tel.merge_into ~into:a b;
+  Alcotest.(check int) "counters add" 5 (Tel.Counter.value (Tel.counter a "c"));
+  Alcotest.(check int) "src-only counter lands" 1
+    (Tel.Counter.value (Tel.counter a "only_b"));
+  check_float "gauge: src wins (serial order)" 9.
+    (Tel.Gauge.value (Tel.gauge a "g"));
+  let h = Tel.histogram a "h" in
+  Alcotest.(check int) "histogram count" 4 (Tel.Histogram.count h);
+  check_float "histogram mean" 2.5 (Tel.Histogram.mean h)
+
+let test_merge_matches_serial () =
+  (* Splitting a workload across two registries and merging in order must
+     snapshot identically to one registry fed everything serially. *)
+  let feed tel values =
+    List.iter (Tel.Histogram.observe (Tel.histogram tel "lat")) values;
+    List.iter (fun v -> Tel.Counter.add (Tel.counter tel "n") (int_of_float v)) values
+  in
+  let serial = Tel.create () in
+  feed serial [ 1.; 2. ];
+  feed serial [ 3.; 4. ];
+  let p1 = Tel.create () and p2 = Tel.create () in
+  feed p1 [ 1.; 2. ];
+  feed p2 [ 3.; 4. ];
+  let merged = Tel.create () in
+  Tel.merge_into ~into:merged p1;
+  Tel.merge_into ~into:merged p2;
+  Alcotest.(check string) "snapshots identical"
+    (Engine.Json.to_string (Tel.snapshot serial))
+    (Engine.Json.to_string (Tel.snapshot merged))
+
+let test_merge_disabled_noop () =
+  let a = Tel.create () in
+  Tel.Counter.add (Tel.counter a "c") 2;
+  Tel.merge_into ~into:a Tel.disabled;
+  Alcotest.(check int) "disabled src ignored" 2
+    (Tel.Counter.value (Tel.counter a "c"));
+  Tel.merge_into ~into:Tel.disabled a;
+  Alcotest.(check int) "disabled into untouched" 0
+    (Tel.Counter.value (Tel.counter Tel.disabled "c"))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -279,6 +334,13 @@ let () =
         ] );
       ( "snapshot",
         [ Alcotest.test_case "round trips" `Quick test_snapshot_round_trips ] );
+      ( "merge",
+        [
+          Alcotest.test_case "combines metrics" `Quick
+            test_merge_combines_metrics;
+          Alcotest.test_case "matches serial" `Quick test_merge_matches_serial;
+          Alcotest.test_case "disabled no-op" `Quick test_merge_disabled_noop;
+        ] );
       ( "trace_sink",
         [
           Alcotest.test_case "unsampled writes all" `Quick
