@@ -16,10 +16,15 @@
       domains, verifying the merged results are identical at every
       worker count (see Engine.Parallel).
 
+   4. Conformance throughput — scenario generation, the ideal-PIFO
+      oracle, and one differential replay pass per backend, reported in
+      cases/sec (the cost of `qvisor-cli conformance` per case).
+
    Run everything:        dune exec bench/main.exe
    Only micro-benches:    dune exec bench/main.exe -- micro
    Only figures:          dune exec bench/main.exe -- figures
-   Only scaling:          dune exec bench/main.exe -- scaling *)
+   Only scaling:          dune exec bench/main.exe -- scaling
+   Only conformance:      dune exec bench/main.exe -- conformance *)
 
 open Bechamel
 open Toolkit
@@ -365,14 +370,88 @@ let run_scaling () =
       end)
     [ 2; 4; 8 ]
 
+(* ------------------------------------------------------------------ *)
+(* Conformance throughput (scenario verification as a workload)        *)
+(* ------------------------------------------------------------------ *)
+
+let run_conformance () =
+  let cases = 200 and seed = 42 in
+  Format.printf "== conformance throughput (%d seeded cases, seed %d) ==@."
+    cases seed;
+  Format.printf
+    "recommended domain count on this machine: %d (parallel rows below are \
+     overhead-bound when this is 1)@."
+    (Domain.recommended_domain_count ());
+  (* Pre-generate the fleet so the timings below isolate verification. *)
+  let t0 = Unix.gettimeofday () in
+  let scenarios =
+    List.init cases (fun i ->
+        Conformance.Scenario.generate ~seed:(Engine.Rng.derive ~seed i))
+  in
+  let gen_dt = Unix.gettimeofday () -. t0 in
+  let events =
+    List.fold_left (fun a sc -> a + Conformance.Scenario.num_events sc) 0
+      scenarios
+  in
+  Format.printf "generate: %7.3f s  (%8.0f cases/s, %d events)@." gen_dt
+    (float_of_int cases /. gen_dt)
+    events;
+  let plans =
+    List.map (fun sc -> (sc, ok (Conformance.Scenario.plan sc))) scenarios
+  in
+  (* Oracle pass alone, then one full replay pass per backend. *)
+  let time name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%-14s %7.3f s  (%8.0f cases/s)@." name dt
+      (float_of_int cases /. dt)
+  in
+  time "oracle" (fun () ->
+      List.iter
+        (fun (sc, plan) -> ignore (Conformance.Oracle.run ~plan sc))
+        plans);
+  List.iter
+    (fun spec ->
+      time spec.Conformance.Differential.bname (fun () ->
+          List.iter
+            (fun (sc, plan) ->
+              match
+                spec.Conformance.Differential.make ~plan
+                  ~capacity_pkts:sc.Conformance.Scenario.capacity_pkts
+              with
+              | Error _ -> ()
+              | Ok qdisc ->
+                ignore (Conformance.Differential.replay ~plan ~qdisc sc))
+            plans))
+    (Conformance.Differential.standard_backends ());
+  (* The end-to-end pipeline (generate + oracle + all backends + stats),
+     serial vs parallel, on a fleet large enough to amortize domain
+     startup. *)
+  let pipeline_cases = 10 * cases in
+  Format.printf "pipeline below: %d cases@." pipeline_cases;
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Conformance.Differential.run_cases ~jobs ~seed ~cases:pipeline_cases ());
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%-14s %7.3f s  (%8.0f cases/s)@."
+        (Printf.sprintf "pipeline(j=%d)" jobs)
+        dt
+        (float_of_int pipeline_cases /. dt))
+    [ 1; 4 ]
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match mode with
   | "micro" -> run_micro ()
   | "figures" -> run_figures ()
   | "scaling" -> run_scaling ()
+  | "conformance" -> run_conformance ()
   | _ ->
     run_micro ();
     run_figures ();
-    run_scaling ());
+    run_scaling ();
+    run_conformance ());
   Format.printf "@.bench: done@."

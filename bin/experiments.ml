@@ -353,7 +353,11 @@ let ablation_backend_cmd =
       results;
     Format.printf "@]@."
   in
-  let doc = "Ablation A2: ideal PIFO vs commodity schedulers under QVISOR." in
+  let doc =
+    "Ablation A2: ideal PIFO vs commodity schedulers under QVISOR. For \
+     oracle-exact verification of the same backends on adversarial \
+     workloads (rather than end-to-end FCT), see `qvisor-cli conformance'."
+  in
   Cmd.v (Cmd.info "ablation-backend" ~doc)
     Term.(const run $ scale_arg $ seed_arg $ jobs_arg)
 

@@ -422,11 +422,210 @@ let check_cmd =
       Format.eprintf "parse error: %s@." (Qvisor.Error.to_string e);
       exit 1
   in
-  let doc = "Parse and echo an operator policy." in
+  let doc =
+    "Statically parse and echo an operator policy (syntax only). To verify \
+     that deployed backends actually $(i,behave) according to a policy, use \
+     the $(b,conformance) command, which replays generated workloads against \
+     an ideal-PIFO oracle."
+  in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ policy_arg)
+
+(* ------------------------------------------------------------------ *)
+(* conformance: seeded differential fuzzing against the ideal oracle  *)
+(* ------------------------------------------------------------------ *)
+
+let fault_conv =
+  let parse s =
+    match Conformance.Fault.of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf f = Format.pp_print_string ppf (Conformance.Fault.to_string f) in
+  Arg.conv (parse, print)
+
+let conformance_cmd =
+  let seed_arg =
+    let doc = "Root seed; case $(i,i) uses the derived seed for (SEED, i)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let cases_arg =
+    let doc = "Number of generated scenarios to verify." in
+    Arg.(value & opt int 200 & info [ "cases"; "n" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains verifying cases in parallel (floor 1; results are \
+       identical for any value)."
+    in
+    Arg.(
+      value
+      & opt int (Engine.Parallel.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a serialized reproducer (written by a failing run) through \
+       every backend instead of fuzzing; prints per-backend verdicts and \
+       per-edge policy violations."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Also verify a deliberately broken backend (one of: lifo-ties, \
+       drop-newest) — an end-to-end check that the oracle catches bugs and \
+       the shrinker minimizes them."
+    in
+    Arg.(
+      value & opt (some fault_conv) None & info [ "inject" ] ~docv:"FAULT" ~doc)
+  in
+  let repro_arg =
+    let doc = "Where to write the shrunk reproducer of the first failure." in
+    Arg.(
+      value
+      & opt string "conformance-repro.json"
+      & info [ "repro" ] ~docv:"FILE" ~doc)
+  in
+  let backends_for inject =
+    Conformance.Differential.standard_backends ()
+    @
+    match inject with
+    | None -> []
+    | Some fault -> [ Conformance.Differential.faulty_backend fault ]
+  in
+  let read_scenario path =
+    let contents =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error e ->
+        Format.eprintf "cannot read %s: %s@." path e;
+        exit 1
+    in
+    match Engine.Json.of_string contents with
+    | Error e ->
+      Format.eprintf "json error in %s: %s@." path e;
+      exit 1
+    | Ok json -> (
+      match Conformance.Scenario.of_json json with
+      | Ok sc -> sc
+      | Error e ->
+        Format.eprintf "reproducer error in %s: %s@." path
+          (Qvisor.Error.to_string e);
+        exit 1)
+  in
+  let run_replay backends path =
+    let sc = read_scenario path in
+    Format.printf "replaying %s@.  %a@.@." path Conformance.Scenario.pp sc;
+    match Conformance.Differential.run_scenario ~backends sc with
+    | Error e ->
+      Format.eprintf "replay error: %s@." (Qvisor.Error.to_string e);
+      exit 1
+    | Ok (oracle, replays) ->
+      Format.printf "oracle: %d served, %d dropped, %d left queued@.@."
+        (List.length oracle.Conformance.Oracle.served)
+        (List.length oracle.Conformance.Oracle.dropped)
+        (List.length oracle.Conformance.Oracle.remaining);
+      let exact_failed = ref false in
+      List.iter
+        (fun ((spec, rep, verdict) :
+               Conformance.Differential.backend_spec
+               * Conformance.Differential.replay
+               * Conformance.Differential.verdict) ->
+          let open Conformance.Differential in
+          Format.printf "%-14s %s@." spec.bname
+            (if verdict.matches then "matches oracle"
+             else
+               Printf.sprintf "DIVERGES: %s"
+                 (Option.value verdict.divergence ~default:"?"));
+          if spec.expect_exact && not verdict.matches then exact_failed := true;
+          if not verdict.matches then begin
+            Format.printf
+              "  inversions %d/%d dequeues (magnitude sum %d, max %d)@."
+              rep.inversions rep.dequeues rep.magnitude_sum rep.magnitude_max;
+            List.iter
+              (fun ((hi, lo), count) ->
+                if count > 0 then
+                  Format.printf "  strict-edge violation  %s >> %s: %d@." hi lo
+                    count)
+              rep.violations
+          end)
+        replays;
+      if !exact_failed then begin
+        Format.eprintf
+          "@.FAIL: an exact-guarantee backend diverged from the oracle@.";
+        exit 1
+      end
+  in
+  let run_fuzz backends seed cases jobs repro =
+    let res =
+      Conformance.Differential.run_cases ~jobs ~backends ~seed ~cases ()
+    in
+    Format.printf "%a@." Conformance.Differential.pp_run res;
+    List.iter
+      (fun (i, e) -> Format.eprintf "case %d: synthesis error: %s@." i e)
+      res.Conformance.Differential.errors;
+    match res.Conformance.Differential.failures with
+    | [] ->
+      if res.Conformance.Differential.errors <> [] then exit 1;
+      Format.printf
+        "all %d cases conform: exact backends match the oracle verbatim@."
+        cases
+    | f :: _ as failures ->
+      let open Conformance.Differential in
+      Format.printf "@.%d oracle divergence(s) on exact backends; first:@."
+        (List.length failures);
+      Format.printf "  case %d (seed %d) backend %s@.  %s@." f.case_index
+        f.case_seed f.backend f.divergence;
+      (* Shrink the first failing case to a committed-size reproducer. *)
+      let backend =
+        List.find (fun b -> b.bname = f.backend) backends
+      in
+      let sc = Conformance.Scenario.generate ~seed:f.case_seed in
+      let fails = fails_oracle ~backend in
+      let small = Conformance.Shrink.minimize ~fails sc in
+      let json = Conformance.Scenario.to_json small in
+      (try
+         Out_channel.with_open_text repro (fun oc ->
+             output_string oc (Engine.Json.to_string ~pretty:true json);
+             output_char oc '\n')
+       with Sys_error e ->
+         Format.eprintf "cannot write reproducer: %s@." e);
+      Format.printf
+        "  shrunk %d events -> %d events (capacity %d); reproducer: %s@."
+        (Conformance.Scenario.num_events sc)
+        (Conformance.Scenario.num_events small)
+        small.Conformance.Scenario.capacity_pkts repro;
+      Format.printf "  replay with: qvisor-cli conformance --replay %s@." repro;
+      exit 1
+  in
+  let run seed cases jobs replay inject repro =
+    if cases <= 0 then begin
+      Format.eprintf "--cases must be positive@.";
+      exit 1
+    end;
+    let backends = backends_for inject in
+    match replay with
+    | Some path -> run_replay backends path
+    | None -> run_fuzz backends seed cases (max 1 jobs) repro
+  in
+  let doc =
+    "Differentially verify scheduler backends against an ideal-PIFO oracle \
+     on seeded random scenarios. Unlike $(b,check) (static policy parsing), \
+     this is dynamic verification: every case replays a generated \
+     multi-tenant workload through the synthesized pre-processor and each \
+     deployed backend, requires exact-guarantee backends to match the \
+     oracle's dequeue order and drop decisions verbatim, and quantifies \
+     approximate backends by inversion rate and per->>-edge policy \
+     violations. Failing cases are shrunk to a small JSON reproducer."
+  in
+  Cmd.v (Cmd.info "conformance" ~doc)
+    Term.(
+      const run $ seed_arg $ cases_arg $ jobs_arg $ replay_arg $ inject_arg
+      $ repro_arg)
 
 let () =
   let doc = "QVISOR control-plane tools" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "qvisor-cli" ~doc) [ plan_cmd; fit_cmd; check_cmd ]))
+       (Cmd.group
+          (Cmd.info "qvisor-cli" ~doc)
+          [ plan_cmd; fit_cmd; check_cmd; conformance_cmd ]))

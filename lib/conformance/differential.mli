@@ -1,0 +1,136 @@
+(** Differential backend verification.
+
+    Replays a scenario through the real data plane — the synthesized
+    plan's {!Qvisor.Preprocessor} followed by a deployed {!Sched.Qdisc}
+    backend — and scores the divergence from the {!Oracle}:
+
+    - backends whose {!Qvisor.Deploy.guarantees} are [Exact] must
+      reproduce the oracle's dequeue order and drop decisions verbatim
+      (any mismatch is a bug, shrunk to a reproducer);
+    - approximate backends are quantified instead: per-dequeue
+      {e inversions} (a served packet while a strictly better transformed
+      rank was queued — the unpifoness metric of the SP-PIFO line of
+      work), inversion magnitude, and per-[>>]-edge {e policy violations}
+      (a lower strict tier served while a higher tier had a packet
+      waiting — the paper's isolation guarantee, measured).
+
+    [run_cases] fans seeded cases out across worker domains with
+    {!Engine.Parallel} and merges per-backend statistics in case order,
+    so results are identical for any [jobs] value. *)
+
+type backend_spec = {
+  bname : string;
+  expect_exact : bool;
+      (** when true, any oracle divergence is reported as a failure *)
+  make :
+    plan:Qvisor.Synthesizer.plan ->
+    capacity_pkts:int ->
+    (Sched.Qdisc.t, Qvisor.Error.t) result;
+}
+
+val standard_backends : unit -> backend_spec list
+(** The six deployment targets, oracle-exact first: ideal PIFO (exact),
+    then SP bank (8 queues), SP-PIFO (8 queues), AIFO, DRR bank (8
+    queues) and a 32-bucket calendar queue, each sized from the
+    scenario's capacity. *)
+
+val faulty_backend : Fault.t -> backend_spec
+(** An [expect_exact] backend carrying an injected bug (named
+    ["injected:<fault>"]) — the end-to-end test of the oracle and
+    shrinker. *)
+
+(** {1 Single-scenario replay} *)
+
+type replay = {
+  served : Oracle.item list;  (** backend dequeue order *)
+  dropped : int list;  (** sids the backend dropped, in order *)
+  dequeues : int;
+  inversions : int;
+      (** dequeues with a strictly smaller transformed rank still queued *)
+  magnitude_sum : int;  (** summed rank gap of inverted dequeues *)
+  magnitude_max : int;
+  violations : ((string * string) * int) list;
+      (** per strict edge [(higher tier, lower tier)] (tiers rendered in
+          policy syntax): dequeues of the lower tier while the higher
+          tier had a queued packet; ordered pairs of top-level [>>]
+          tiers, zero counts included *)
+}
+
+type verdict = { matches : bool; divergence : string option }
+
+val replay :
+  plan:Qvisor.Synthesizer.plan ->
+  qdisc:Sched.Qdisc.t ->
+  Scenario.t ->
+  replay
+
+val compare_to_oracle : Oracle.outcome -> replay -> verdict
+(** Exact match: same served sid sequence and same drop sid sequence.
+    [divergence] pinpoints the first difference. *)
+
+val run_scenario :
+  ?backends:backend_spec list ->
+  Scenario.t ->
+  ( Oracle.outcome * (backend_spec * replay * verdict) list,
+    Qvisor.Error.t )
+  result
+(** Synthesize the scenario's plan, run the oracle once, then replay
+    every backend against it. *)
+
+val fails_oracle : backend:backend_spec -> Scenario.t -> bool
+(** [true] when the backend's replay diverges from the oracle — the
+    shrinker predicate.  Scenarios that fail to synthesize or deploy are
+    treated as non-failing (the shrinker must not wander off the backend
+    bug onto a spec problem). *)
+
+(** {1 Seeded fleets} *)
+
+type backend_stats = {
+  backend : string;
+  expect_exact : bool;
+  cases : int;
+  exact_cases : int;  (** cases matching the oracle verbatim *)
+  dequeues : int;
+  inversions : int;
+  magnitude_sum : int;
+  magnitude_max : int;
+  strict_violations : int;  (** per-edge counts summed over edges/cases *)
+}
+
+type failure = {
+  case_index : int;
+  case_seed : int;  (** feed back into {!Scenario.generate} to reproduce *)
+  backend : string;
+  divergence : string;
+}
+
+type run_result = {
+  seed : int;
+  cases : int;
+  total_events : int;
+  total_enqueues : int;
+  stats : backend_stats list;  (** one row per backend, input order *)
+  failures : failure list;
+      (** oracle divergences on [expect_exact] backends, case order *)
+  errors : (int * string) list;
+      (** cases whose synthesis/deploy failed: [(case index, error)] *)
+}
+
+val run_cases :
+  ?jobs:int ->
+  ?telemetry:Engine.Telemetry.t ->
+  ?backends:backend_spec list ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  run_result
+(** Generate [cases] scenarios from per-case seeds
+    ([Engine.Rng.derive ~seed i]), verify each against every backend on a
+    pool of [jobs] worker domains ({!Engine.Parallel.map}), and merge the
+    statistics in case order — byte-identical output for any [jobs].
+    With [telemetry], counters [conformance.cases], [conformance.events],
+    [conformance.dequeues], [conformance.inversions] and
+    [conformance.mismatches] accumulate across the run. *)
+
+val pp_run : Format.formatter -> run_result -> unit
+(** The per-backend conformance table. *)

@@ -1,0 +1,91 @@
+type t = Lifo_ties | Drop_newest
+
+let all = [ Lifo_ties; Drop_newest ]
+
+let to_string = function
+  | Lifo_ties -> "lifo-ties"
+  | Drop_newest -> "drop-newest"
+
+let of_string = function
+  | "lifo-ties" -> Ok Lifo_ties
+  | "drop-newest" -> Ok Drop_newest
+  | s ->
+    Error
+      (Printf.sprintf "unknown fault %S (expected %s)" s
+         (String.concat " | " (List.map to_string all)))
+
+let describe = function
+  | Lifo_ties -> "equal-rank packets served in reverse arrival order"
+  | Drop_newest -> "full queue always tail-drops, never evicts the worst"
+
+(* A PIFO over an explicit key function, sharing Pifo_queue's shape but
+   parameterized so each fault is a one-line deviation. *)
+module Key = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module PMap = Map.Make (Key)
+
+let qdisc fault ~capacity_pkts =
+  if capacity_pkts <= 0 then invalid_arg "Fault.qdisc: capacity <= 0";
+  let key (p : Sched.Packet.t) =
+    match fault with
+    | Lifo_ties -> (p.Sched.Packet.rank, -p.Sched.Packet.uid)
+    | Drop_newest -> (p.Sched.Packet.rank, p.Sched.Packet.uid)
+  in
+  let store = ref PMap.empty in
+  let count = ref 0 in
+  let bytes = ref 0 in
+  let drops = ref 0 in
+  let insert p =
+    store := PMap.add (key p) p !store;
+    incr count;
+    bytes := !bytes + p.Sched.Packet.size
+  in
+  let remove k (p : Sched.Packet.t) =
+    store := PMap.remove k !store;
+    decr count;
+    bytes := !bytes - p.Sched.Packet.size
+  in
+  let enqueue (p : Sched.Packet.t) =
+    if !count < capacity_pkts then begin
+      insert p;
+      []
+    end
+    else begin
+      match fault with
+      | Drop_newest ->
+        incr drops;
+        [ p ]
+      | Lifo_ties ->
+        let worst_key, worst = PMap.max_binding !store in
+        if p.Sched.Packet.rank >= worst.Sched.Packet.rank then begin
+          incr drops;
+          [ p ]
+        end
+        else begin
+          remove worst_key worst;
+          insert p;
+          incr drops;
+          [ worst ]
+        end
+    end
+  in
+  let dequeue () =
+    match PMap.min_binding_opt !store with
+    | None -> None
+    | Some (k, p) ->
+      remove k p;
+      Some p
+  in
+  {
+    Sched.Qdisc.name = "fault:" ^ to_string fault;
+    enqueue;
+    dequeue;
+    peek = (fun () -> Option.map snd (PMap.min_binding_opt !store));
+    length = (fun () -> !count);
+    bytes = (fun () -> !bytes);
+    drops = (fun () -> !drops);
+  }

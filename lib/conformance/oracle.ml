@@ -1,0 +1,69 @@
+type item = { sid : int; tenant : int; rank : int }
+
+type outcome = {
+  served : item list;
+  dropped : int list;
+  remaining : item list;
+}
+
+let key it = (it.rank, it.sid)
+
+let rec insert it = function
+  | [] -> [ it ]
+  | x :: _ as l when key it < key x -> it :: l
+  | x :: rest -> x :: insert it rest
+
+let rec drop_last = function
+  | [] | [ _ ] -> []
+  | x :: rest -> x :: drop_last rest
+
+let run ~plan (sc : Scenario.t) =
+  let transforms = Hashtbl.create 8 in
+  let transform_of tenant_id =
+    match Hashtbl.find_opt transforms tenant_id with
+    | Some t -> t
+    | None ->
+      let t = Qvisor.Synthesizer.transform_of plan ~tenant_id in
+      Hashtbl.add transforms tenant_id t;
+      t
+  in
+  (* Ascending (rank, sid): the head is the next packet to serve, the last
+     element the eviction victim. *)
+  let queue = ref [] in
+  let len = ref 0 in
+  let served = ref [] in
+  let dropped = ref [] in
+  let next_sid = ref 0 in
+  List.iter
+    (function
+      | Scenario.Enqueue { tenant; label; _ } ->
+        let rank = Qvisor.Transform.apply (transform_of tenant) label in
+        let it = { sid = !next_sid; tenant; rank } in
+        incr next_sid;
+        if !len < sc.Scenario.capacity_pkts then begin
+          queue := insert it !queue;
+          incr len
+        end
+        else begin
+          match List.rev !queue with
+          | [] -> dropped := it.sid :: !dropped
+          | worst :: _ ->
+            if it.rank >= worst.rank then dropped := it.sid :: !dropped
+            else begin
+              queue := insert it (drop_last !queue);
+              dropped := worst.sid :: !dropped
+            end
+        end
+      | Scenario.Dequeue -> (
+        match !queue with
+        | [] -> ()
+        | x :: rest ->
+          queue := rest;
+          decr len;
+          served := x :: !served))
+    sc.Scenario.events;
+  {
+    served = List.rev !served;
+    dropped = List.rev !dropped;
+    remaining = !queue;
+  }

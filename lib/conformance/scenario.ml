@@ -1,0 +1,248 @@
+module J = Engine.Json
+
+let ( let* ) = Result.bind
+
+type event =
+  | Enqueue of { tenant : int; label : int; size : int }
+  | Dequeue
+
+type t = {
+  seed : int;
+  tenants : Qvisor.Tenant.t list;
+  policy : Qvisor.Policy.t;
+  config : Qvisor.Synthesizer.config;
+  capacity_pkts : int;
+  events : event list;
+}
+
+let num_events t = List.length t.events
+
+let num_enqueues t =
+  List.fold_left
+    (fun n -> function Enqueue _ -> n + 1 | Dequeue -> n)
+    0 t.events
+
+let plan t =
+  Qvisor.Synthesizer.synthesize ~config:t.config ~tenants:t.tenants
+    ~policy:t.policy ()
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let algorithms = [| "pfabric"; "edf"; "stfq"; "fifo"; "lstf"; "custom" |]
+
+let packet_sizes = [| 64; 256; 512; 1024; 1500 |]
+
+let weights = [| 0.5; 1.0; 1.0; 2.0; 4.0 |]
+
+let prefer_biases = [| 0.25; 0.5; 0.75 |]
+
+(* Split [names] into [k] non-empty groups.  The input is pre-shuffled, so
+   pinning the first [k] elements to distinct groups costs no entropy. *)
+let partition rng k names =
+  let groups = Array.make k [] in
+  List.iteri
+    (fun i name ->
+      let g = if i < k then i else Engine.Rng.int_range rng ~lo:0 ~hi:(k - 1) in
+      groups.(g) <- name :: groups.(g))
+    names;
+  Array.to_list (Array.map List.rev groups)
+
+(* A random policy over the full [>>]/[>]/[+] grammar, including the
+   parenthesized-nesting extension: split the names into 2-3 groups,
+   combine them with a random operator, recurse into each group. *)
+let rec gen_policy rng names =
+  match names with
+  | [] -> invalid_arg "Scenario.gen_policy: no names"
+  | [ n ] -> Qvisor.Policy.Tenant n
+  | _ ->
+    let k = Engine.Rng.int_range rng ~lo:2 ~hi:(min 3 (List.length names)) in
+    let parts = List.map (gen_policy rng) (partition rng k names) in
+    (match Engine.Rng.int_range rng ~lo:0 ~hi:2 with
+    | 0 -> Qvisor.Policy.Strict parts
+    | 1 -> Qvisor.Policy.Prefer parts
+    | _ -> Qvisor.Policy.Share parts)
+
+let generate ~seed =
+  let rng = Engine.Rng.create ~seed in
+  let n = Engine.Rng.int_range rng ~lo:2 ~hi:5 in
+  let tenants =
+    List.init n (fun i ->
+        let rank_lo = Engine.Rng.int_range rng ~lo:0 ~hi:256 in
+        let width = 1 lsl Engine.Rng.int_range rng ~lo:3 ~hi:14 in
+        Qvisor.Tenant.make
+          ~algorithm:(Engine.Rng.choice rng algorithms)
+          ~rank_lo ~rank_hi:(rank_lo + width - 1)
+          ~weight:(Engine.Rng.choice rng weights)
+          ~id:i
+          ~name:(Printf.sprintf "T%d" i)
+          ())
+  in
+  let names = Array.of_list (List.map (fun t -> t.Qvisor.Tenant.name) tenants) in
+  Engine.Rng.shuffle rng names;
+  let policy = gen_policy rng (Array.to_list names) in
+  let config =
+    {
+      Qvisor.Synthesizer.default_config with
+      Qvisor.Synthesizer.levels =
+        (if Engine.Rng.bool rng then
+           Some (1 lsl Engine.Rng.int_range rng ~lo:2 ~hi:8)
+         else None);
+      prefer_bias = Engine.Rng.choice rng prefer_biases;
+    }
+  in
+  let capacity_pkts = Engine.Rng.int_range rng ~lo:4 ~hi:64 in
+  let target = Engine.Rng.int_range rng ~lo:16 ~hi:192 in
+  let tenant_arr = Array.of_list tenants in
+  let events = ref [] in
+  let count = ref 0 in
+  let depth = ref 0 in
+  (* Estimated occupancy; an upper bound since it ignores drops. *)
+  let emit e = events := e :: !events; incr count in
+  let enqueue_from t =
+    emit
+      (Enqueue
+         {
+           tenant = t.Qvisor.Tenant.id;
+           label =
+             Engine.Rng.int_range rng ~lo:t.Qvisor.Tenant.rank_lo
+               ~hi:t.Qvisor.Tenant.rank_hi;
+           size = Engine.Rng.choice rng packet_sizes;
+         });
+    incr depth
+  in
+  let enqueue_one () =
+    (* A sliver of traffic from an undeclared tenant id exercises the
+       plan's fallback transformation. *)
+    if Engine.Rng.float rng < 0.03 then begin
+      emit
+        (Enqueue
+           {
+             tenant = n;
+             label = Engine.Rng.int_range rng ~lo:0 ~hi:255;
+             size = Engine.Rng.choice rng packet_sizes;
+           });
+      incr depth
+    end
+    else enqueue_from (Engine.Rng.choice rng tenant_arr)
+  in
+  while !count < target do
+    match Engine.Rng.int_range rng ~lo:0 ~hi:99 with
+    | r when r < 35 -> enqueue_one ()
+    | r when r < 60 ->
+      (* Burst: one tenant floods 2-12 packets back to back — the
+         capacity-pressure case (evictions, AIFO admission refusals). *)
+      let t = Engine.Rng.choice rng tenant_arr in
+      let b = Engine.Rng.int_range rng ~lo:2 ~hi:12 in
+      for _ = 1 to b do
+        enqueue_from t
+      done
+    | r when r < 85 ->
+      let d = Engine.Rng.int_range rng ~lo:1 ~hi:4 in
+      for _ = 1 to d do
+        emit Dequeue
+      done;
+      depth := max 0 (!depth - d)
+    | _ ->
+      (* Drain run: serve out about half of what is queued. *)
+      let d = max 1 (!depth / 2) in
+      for _ = 1 to d do
+        emit Dequeue
+      done;
+      depth := max 0 (!depth - d)
+  done;
+  { seed; tenants; policy; config; capacity_pkts; events = List.rev !events }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let event_to_json = function
+  | Enqueue { tenant; label; size } ->
+    J.Obj
+      [
+        ("ev", J.String "enq");
+        ("tenant", J.Number (float_of_int tenant));
+        ("label", J.Number (float_of_int label));
+        ("size", J.Number (float_of_int size));
+      ]
+  | Dequeue -> J.Obj [ ("ev", J.String "deq") ]
+
+let to_json t =
+  J.Obj
+    [
+      ("version", J.Number 1.);
+      (* Seeds are 63-bit (Rng.derive output); a JSON number would round
+         through a float and lose low bits, so carry them as a string. *)
+      ("seed", J.String (string_of_int t.seed));
+      ("spec", Qvisor.Serialize.spec_to_json ~tenants:t.tenants ~policy:t.policy);
+      ("config", Qvisor.Serialize.config_to_json t.config);
+      ("capacity_pkts", J.Number (float_of_int t.capacity_pkts));
+      ("events", J.List (List.map event_to_json t.events));
+    ]
+
+let field name json ~conv ~what =
+  match Option.bind (J.member name json) conv with
+  | Some v -> Ok v
+  | None ->
+    Error
+      (Qvisor.Error.Config
+         (Printf.sprintf "missing or ill-typed field %S in %s" name what))
+
+let event_of_json json =
+  let* ev = field "ev" json ~conv:J.to_str ~what:"event" in
+  match ev with
+  | "deq" -> Ok Dequeue
+  | "enq" ->
+    let* tenant = field "tenant" json ~conv:J.to_int ~what:"event" in
+    let* label = field "label" json ~conv:J.to_int ~what:"event" in
+    let* size = field "size" json ~conv:J.to_int ~what:"event" in
+    Ok (Enqueue { tenant; label; size })
+  | other ->
+    Error (Qvisor.Error.Config (Printf.sprintf "unknown event kind %S" other))
+
+let of_json json =
+  let* seed =
+    field "seed" json
+      ~conv:(fun j -> Option.bind (J.to_str j) int_of_string_opt)
+      ~what:"scenario"
+  in
+  let* spec =
+    match J.member "spec" json with
+    | Some s -> Qvisor.Serialize.spec_of_json s
+    | None -> Error (Qvisor.Error.Config "missing field \"spec\" in scenario")
+  in
+  let tenants, policy = spec in
+  let* config =
+    match J.member "config" json with
+    | Some c -> Qvisor.Serialize.config_of_json c
+    | None -> Error (Qvisor.Error.Config "missing field \"config\" in scenario")
+  in
+  let* capacity_pkts =
+    field "capacity_pkts" json ~conv:J.to_int ~what:"scenario"
+  in
+  let* event_items = field "events" json ~conv:J.to_list ~what:"scenario" in
+  let* events =
+    List.fold_right
+      (fun item acc ->
+        let* acc = acc in
+        let* e = event_of_json item in
+        Ok (e :: acc))
+      event_items (Ok [])
+  in
+  if capacity_pkts <= 0 then
+    Error (Qvisor.Error.Config "scenario capacity_pkts <= 0")
+  else Ok { seed; tenants; policy; config; capacity_pkts; events }
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf
+    "scenario[seed=%d tenants=%d policy=%s levels=%s cap=%d events=%d (%d enq)]"
+    t.seed (List.length t.tenants)
+    (Qvisor.Policy.to_string t.policy)
+    (match t.config.Qvisor.Synthesizer.levels with
+    | None -> "full"
+    | Some l -> string_of_int l)
+    t.capacity_pkts (num_events t) (num_enqueues t)

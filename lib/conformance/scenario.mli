@@ -1,0 +1,53 @@
+(** Seeded multi-tenant workload scenarios for conformance testing.
+
+    A scenario is everything the differential runner needs to replay one
+    case deterministically: a random operator specification (tenants with
+    random rank ranges plus a random policy drawn from the [>>]/[>]/[+]
+    grammar, including nested groups), a synthesizer configuration, a
+    queue capacity, and an interleaved enqueue/dequeue event sequence with
+    bursts and capacity pressure.  Every scenario is a pure function of
+    its seed ({!Engine.Rng} splitmix64 streams), so a one-line seed is a
+    complete reproducer; failing cases additionally serialize to JSON
+    ({!to_json}) for replay after the generator evolves. *)
+
+type event =
+  | Enqueue of { tenant : int; label : int; size : int }
+      (** one packet arrives carrying the tenant's raw rank label *)
+  | Dequeue  (** the port serves one packet (a no-op on an empty queue) *)
+
+type t = {
+  seed : int;  (** the seed this scenario was generated from (provenance) *)
+  tenants : Qvisor.Tenant.t list;
+  policy : Qvisor.Policy.t;
+  config : Qvisor.Synthesizer.config;
+  capacity_pkts : int;  (** queue capacity shared by oracle and backends *)
+  events : event list;
+}
+
+val generate : seed:int -> t
+(** Deterministically generate one scenario: 2–5 tenants with random
+    algorithms, rank-range widths from 8 to 16384 and random spec bands, a
+    random (possibly nested) policy over them, optional rank quantization,
+    a small capacity (4–64 packets, so eviction pressure is common), and
+    16–192 events mixing single enqueues, tenant bursts (2–12 packets),
+    single dequeues and drain runs; about 3% of enqueues come from an
+    undeclared tenant id to exercise the fallback transformation. *)
+
+val num_events : t -> int
+
+val num_enqueues : t -> int
+
+val plan : t -> (Qvisor.Synthesizer.plan, Qvisor.Error.t) result
+(** Synthesize the joint scheduling plan for the scenario's spec. *)
+
+val to_json : t -> Engine.Json.t
+(** Reproducer form: the spec (via {!Qvisor.Serialize.spec_to_json}), the
+    synthesizer config, the capacity, and the event list. *)
+
+val of_json : Engine.Json.t -> (t, Qvisor.Error.t) result
+
+val equal : t -> t -> bool
+(** Structural equality (used by generator-determinism tests). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: tenants, policy, capacity, event counts. *)

@@ -1,0 +1,58 @@
+let with_events sc events = { sc with Scenario.events }
+
+(* One left-to-right pass removing [chunk]-sized event windows; a removal
+   is kept when the candidate still fails, and the scan resumes at the
+   same index (the window now holds fresh events). *)
+let pass ~fails sc chunk =
+  let rec go sc i =
+    let events = Array.of_list sc.Scenario.events in
+    let n = Array.length events in
+    if i >= n then sc
+    else begin
+      let hi = min n (i + chunk) in
+      let candidate =
+        with_events sc
+          (Array.to_list (Array.sub events 0 i)
+          @ Array.to_list (Array.sub events hi (n - hi)))
+      in
+      if fails candidate then go candidate i else go sc (i + chunk)
+    end
+  in
+  go sc 0
+
+let shrink_events ~fails sc =
+  let rec loop sc chunk =
+    let sc' = pass ~fails sc chunk in
+    if chunk > 1 then loop sc' (chunk / 2)
+    else if
+      List.length sc'.Scenario.events < List.length sc.Scenario.events
+    then loop sc' 1
+    else sc'
+  in
+  loop sc (max 1 (List.length sc.Scenario.events / 2))
+
+(* Capacity shrinks expose eviction-model bugs with few events: halve
+   while the failure survives, then creep down by one. *)
+let shrink_capacity ~fails sc =
+  let with_cap c = { sc with Scenario.capacity_pkts = c } in
+  let rec go sc =
+    let c = sc.Scenario.capacity_pkts in
+    if c <= 1 then sc
+    else begin
+      let half = with_cap (c / 2) in
+      if fails half then go half
+      else begin
+        let minus = with_cap (c - 1) in
+        if fails minus then go minus else sc
+      end
+    end
+  in
+  go sc
+
+let minimize ~fails sc =
+  if not (fails sc) then
+    invalid_arg "Shrink.minimize: scenario does not fail";
+  let sc = shrink_events ~fails sc in
+  let sc = shrink_capacity ~fails sc in
+  (* Capacity reduction may have made more events redundant. *)
+  shrink_events ~fails sc

@@ -1,0 +1,14 @@
+(** Greedy scenario minimization.
+
+    Given a failing scenario and a predicate that reproduces the failure,
+    the shrinker greedily removes event windows (halving the window from
+    [n/2] down to single events, ddmin-style), then walks the queue
+    capacity down, then makes a final single-event pass — each step kept
+    only if the scenario still fails.  The result is a small reproducer
+    suitable for committing next to a bug report and replaying with
+    [qvisor-cli conformance --replay]. *)
+
+val minimize :
+  fails:(Scenario.t -> bool) -> Scenario.t -> Scenario.t
+(** @raise Invalid_argument when [fails scenario] is [false] — the
+    scenario to minimize must actually fail. *)

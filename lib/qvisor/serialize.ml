@@ -61,6 +61,32 @@ let rec transform_to_json = function
         ("then", transform_to_json g);
       ]
 
+let config_to_json (c : Synthesizer.config) =
+  J.Obj
+    [
+      ("rank_lo", J.Number (float_of_int c.Synthesizer.rank_lo));
+      ("rank_hi", J.Number (float_of_int c.Synthesizer.rank_hi));
+      ( "levels",
+        match c.Synthesizer.levels with
+        | None -> J.Null
+        | Some l -> J.Number (float_of_int l) );
+      ("prefer_bias", J.Number c.Synthesizer.prefer_bias);
+    ]
+
+let config_of_json json =
+  let* rank_lo = field "rank_lo" json ~conv:J.to_int ~what:"config" in
+  let* rank_hi = field "rank_hi" json ~conv:J.to_int ~what:"config" in
+  let* prefer_bias = field "prefer_bias" json ~conv:J.to_float ~what:"config" in
+  let* levels =
+    match J.member "levels" json with
+    | None | Some J.Null -> Ok None
+    | Some v -> (
+      match J.to_int v with
+      | Some l -> Ok (Some l)
+      | None -> Error (Error.Config "ill-typed field \"levels\" in config"))
+  in
+  Ok { Synthesizer.rank_lo; rank_hi; levels; prefer_bias }
+
 let plan_to_json (plan : Synthesizer.plan) =
   J.Obj
     [

@@ -17,6 +17,13 @@ val policy_of_json : Engine.Json.t -> (Policy.t, Error.t) result
 
 val transform_to_json : Transform.t -> Engine.Json.t
 
+val config_to_json : Synthesizer.config -> Engine.Json.t
+(** Rank space, quantization levels ([null] for full resolution) and
+    prefer bias — everything needed to re-synthesize a plan from a spec,
+    e.g. in a conformance reproducer file. *)
+
+val config_of_json : Engine.Json.t -> (Synthesizer.config, Error.t) result
+
 val plan_to_json : Synthesizer.plan -> Engine.Json.t
 (** Policy, rank space, and per-tenant band + transformation. *)
 

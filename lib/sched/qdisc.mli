@@ -13,7 +13,30 @@ type t = {
           packets evicted to make room (PIFO worst-rank eviction), or [[]]
           when everything fit. *)
   dequeue : unit -> Packet.t option;
-      (** Remove the packet the discipline schedules next. *)
+      (** Remove the packet the discipline schedules next.
+
+          {b Equal-rank tie-break contract:} among queued packets the
+          discipline considers equally urgent, service must be in arrival
+          order (FIFO), i.e. by ascending {!Packet.t.uid}.  The
+          conformance oracle relies on this: rank-sorted disciplines break
+          rank ties by uid, and bank/bucket disciplines must use FIFO
+          queues internally.
+
+          Audit (PR 3, verified by [test_conformance] and fuzzed by
+          [qvisor-cli conformance]):
+          - [Pifo_queue]: orders by [(rank, uid)] — conformant, and the
+            reference the oracle mirrors.
+          - [Pifo_tree]: per-node FIFO sequencing — conformant.
+          - [Fifo_queue], [Sp_bank], [Drr_bank], [Aifo]: FIFO within each
+            internal queue — conformant among packets mapped to the same
+            queue (cross-queue order is the approximation, not a tie).
+          - [Sp_pifo]: equal ranks can land in different queues after a
+            push-down, so equal-rank FIFO holds only within a queue; this
+            is inherent to the SP-PIFO mechanism and is measured as
+            inversions rather than treated as a contract violation.
+          - [Calendar_queue]: FIFO within a bucket; the wrap-around
+            overflow bucket can serve an older epoch's packets behind a
+            newer epoch's — again measured, not exact. *)
   peek : unit -> Packet.t option;
   length : unit -> int;  (** queued packets *)
   bytes : unit -> int;  (** queued bytes *)
