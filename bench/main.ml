@@ -20,11 +20,18 @@
       oracle, and one differential replay pass per backend, reported in
       cases/sec (the cost of `qvisor-cli conformance` per case).
 
+   5. Profiling overhead — Engine.Recorder and Engine.Span micro costs
+      (armed vs disabled), the end-to-end events/sec cost of arming
+      every port's flight recorder on a quick Fig. 4 point (< 10% by
+      design), and the span breakdown of a quick run (the source of
+      results_profile.txt).
+
    Run everything:        dune exec bench/main.exe
    Only micro-benches:    dune exec bench/main.exe -- micro
    Only figures:          dune exec bench/main.exe -- figures
    Only scaling:          dune exec bench/main.exe -- scaling
-   Only conformance:      dune exec bench/main.exe -- conformance *)
+   Only conformance:      dune exec bench/main.exe -- conformance
+   Only profiling:        dune exec bench/main.exe -- profile *)
 
 open Bechamel
 open Toolkit
@@ -442,6 +449,91 @@ let run_conformance () =
         (float_of_int pipeline_cases /. dt))
     [ 1; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* Profiling & flight-recorder overhead                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile () =
+  Format.printf "== profiling & flight-recorder overhead ==@.";
+  (* Micro: Recorder.record, armed ring vs the shared disabled recorder
+     (the cost instrumented code pays when flight recording is off). *)
+  let iters = 5_000_000 in
+  let time_record recorder =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      Engine.Recorder.record recorder ~time:(float_of_int i)
+        ~kind:Engine.Recorder.Enqueue ~uid:i ~link:2 ~tenant:0 ~flow:3
+        ~rank_before:(-1) ~rank:42
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time_record (Engine.Recorder.create ()));
+  let armed = time_record (Engine.Recorder.create ()) in
+  let off = time_record Engine.Recorder.disabled in
+  Format.printf
+    "recorder.record: armed %5.1f ns/event (%.3g events/s), disabled %5.1f \
+     ns/event@."
+    (1e9 *. armed /. float_of_int iters)
+    (float_of_int iters /. armed)
+    (1e9 *. off /. float_of_int iters);
+  (* Micro: Span.with_, enabled vs the shared disabled profiler. *)
+  let span_iters = 1_000_000 in
+  let time_span profiler =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to span_iters do
+      Engine.Span.with_ profiler ~name:"bench.span" Fun.id
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let span_on = time_span (Engine.Span.create ()) in
+  let span_off = time_span Engine.Span.disabled in
+  Format.printf
+    "span.with_:      enabled %5.1f ns/span, disabled %5.1f ns/span@."
+    (1e9 *. span_on /. float_of_int span_iters)
+    (1e9 *. span_off /. float_of_int span_iters);
+  (* End to end: a quick Fig. 4 point with every port's flight recorder
+     armed vs off, compared on engine events/sec.  The ring is meant to
+     be cheap enough to leave always-on: overhead should stay under 10%. *)
+  let params =
+    (* Three quick-scale arrival windows: long enough that one run's
+       events/sec is stable, short enough to afford interleaved reps. *)
+    {
+      Experiments.Fig4.quick with
+      Experiments.Fig4.load = 0.5;
+      duration = 3. *. Experiments.Fig4.quick.Experiments.Fig4.duration;
+    }
+  in
+  let scheme = Experiments.Fig4.Qvisor_policy "pfabric >> edf" in
+  let rate ?flight () =
+    match Experiments.Fig4.run ?flight params scheme with
+    | Error e -> failwith (Qvisor.Error.to_string e)
+    | Ok r ->
+      float_of_int r.Experiments.Fig4.events_fired
+      /. r.Experiments.Fig4.wall_seconds
+  in
+  (* Interleaved best-of-8: events/sec drifts run to run on a busy
+     machine, and alternating off/on pairs exposes both configurations
+     to the same drift; the per-configuration best approximates the
+     noise-free rate. *)
+  ignore (rate ());
+  let rate_off = ref 0. and rate_on = ref 0. in
+  for _ = 1 to 8 do
+    rate_off := Float.max !rate_off (rate ());
+    rate_on := Float.max !rate_on (rate ~flight:Netsim.Net.default_flight ())
+  done;
+  let rate_off = !rate_off and rate_on = !rate_on in
+  let overhead = 100. *. (1. -. (rate_on /. rate_off)) in
+  Format.printf
+    "fig4 quick point: recorder off %.3g events/s, on %.3g events/s \
+     (overhead %.1f%%)@."
+    rate_off rate_on overhead;
+  (* Where a quick Fig. 4 run spends its time (the committed span
+     breakdown in results_profile.txt comes from here). *)
+  let profiler = Engine.Span.create () in
+  ignore (Experiments.Fig4.run_exn ~profiler params scheme);
+  Format.printf "@.span breakdown of one quick Fig. 4 run:@.%a@."
+    Engine.Span.pp_table profiler
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match mode with
@@ -449,9 +541,11 @@ let () =
   | "figures" -> run_figures ()
   | "scaling" -> run_scaling ()
   | "conformance" -> run_conformance ()
+  | "profile" -> run_profile ()
   | _ ->
     run_micro ();
     run_figures ();
     run_scaling ();
-    run_conformance ());
+    run_conformance ();
+    run_profile ());
   Format.printf "@.bench: done@."

@@ -109,6 +109,79 @@ let trace_sample_arg =
   in
   Arg.(value & opt float 1.0 & info [ "trace-sample" ] ~docv:"RATE" ~doc)
 
+let profile_arg =
+  let doc =
+    "Write a span profile of the run to $(docv) as Chrome trace-event JSON \
+     (load in Perfetto or chrome://tracing); a sorted self/total-time table \
+     is printed to stderr.  The profiled span structure is identical for \
+     any --jobs value."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let make_profiler profile =
+  match profile with
+  | Some _ -> Engine.Span.create ()
+  | None -> Engine.Span.disabled
+
+let write_profile profile profiler =
+  match profile with
+  | None -> ()
+  | Some path ->
+    (try
+       Out_channel.with_open_text path (fun oc ->
+           Engine.Span.write_chrome profiler oc)
+     with Sys_error e ->
+       Format.eprintf "cannot write profile: %s@." e;
+       exit 1);
+    Format.eprintf "%a@." Engine.Span.pp_table profiler;
+    progress "wrote %s@." path
+
+let flight_arg =
+  let doc =
+    "Arm the always-on per-port flight recorders and write an NDJSON dump \
+     of the recent packet events of any port whose drop rate spikes \
+     (trigger: >= 50% drops over a 128-enqueue window, with cooldown) into \
+     $(docv) (created if missing).  Inspect dumps with `qvisor-cli trace \
+     query'."
+  in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"DIR" ~doc)
+
+(* Returns the (flight config, on_anomaly hook) pair for Fig4.run plus a
+   [finish] closure that reports how many dumps were written. *)
+let setup_flight dir =
+  match dir with
+  | None -> (None, None, fun () -> ())
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let fired = ref 0 in
+    let dumped = Hashtbl.create 8 in
+    (* One dump per link: a sustained incident keeps re-firing its port's
+       trigger every cooldown window, and the first ring snapshot is the
+       one that shows the onset — later ones only repeat the steady
+       state.  Subsequent fires are counted, not written. *)
+    let on_anomaly ~link_id recorder =
+      incr fired;
+      if not (Hashtbl.mem dumped link_id) then begin
+        Hashtbl.add dumped link_id ();
+        let path =
+          Filename.concat dir (Printf.sprintf "anomaly-link%d.ndjson" link_id)
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Engine.Recorder.dump recorder oc);
+        progress "flight recorder: drop-rate anomaly on link %d -> %s@."
+          link_id path
+      end
+    in
+    ( Some Netsim.Net.default_flight,
+      Some on_anomaly,
+      fun () ->
+        if !fired = 0 then
+          progress "flight recorder: no drop-rate anomalies fired@."
+        else
+          progress
+            "flight recorder: %d anomalies across %d link(s), dumps in %s@."
+            !fired (Hashtbl.length dumped) dir )
+
 (* Returns the registry to thread through the run (None when both flags
    are off) and a [finish] closure that flushes the trace and prints the
    snapshot. *)
@@ -230,7 +303,8 @@ let setup_job_telemetry ~telemetry ~trace ~trace_sample
   end
 
 let fig4_cmd =
-  let run scale seed loads csv config telemetry trace trace_sample jobs =
+  let run scale seed loads csv config telemetry trace trace_sample jobs profile
+      =
     let params = resolve_params scale config seed in
     let loads = parse_loads loads in
     let jobs = max 1 jobs in
@@ -241,12 +315,30 @@ let fig4_cmd =
     let telemetry_for, finish_telemetry =
       setup_job_telemetry ~telemetry ~trace ~trace_sample grid
     in
+    (* Per-job span profilers, merged in job order after the join — the
+       merged span structure is identical for any --jobs value. *)
+    let profiler = make_profiler profile in
+    let profiler_slots =
+      if Engine.Span.is_enabled profiler then
+        List.map
+          (fun (job : Experiments.Fig4.job) ->
+            (job.Experiments.Fig4.index, Engine.Span.create ()))
+          grid
+      else []
+    in
+    let profiler_for (job : Experiments.Fig4.job) =
+      match List.assoc_opt job.Experiments.Fig4.index profiler_slots with
+      | Some p -> p
+      | None -> Engine.Span.disabled
+    in
     let on_start (job : Experiments.Fig4.job) =
       progress "running load %.2f %s...@." job.Experiments.Fig4.job_load
         (Experiments.Fig4.scheme_name job.Experiments.Fig4.job_scheme)
     in
     let results =
-      or_die (Experiments.Fig4.run_jobs ~jobs ~telemetry_for ~on_start params grid)
+      or_die
+        (Experiments.Fig4.run_jobs ~jobs ~telemetry_for ~profiler_for
+           ~on_start params grid)
     in
     Format.printf "%a@." Experiments.Fig4.print_fig4 results;
     (match csv with
@@ -254,13 +346,17 @@ let fig4_cmd =
     | Some path ->
       Experiments.Export.save_fig4 path results;
       progress "wrote %s@." path);
-    finish_telemetry ()
+    finish_telemetry ();
+    List.iter
+      (fun (i, p) -> Engine.Span.merge_into ~into:profiler ~tid:(i + 1) p)
+      profiler_slots;
+    write_profile profile profiler
   in
   let doc = "Regenerate Fig. 4 (both panels): pFabric FCT vs load, six schemes." in
   Cmd.v (Cmd.info "fig4" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ loads_arg $ csv_arg $ config_arg
-      $ telemetry_arg $ trace_arg $ trace_sample_arg $ jobs_arg)
+      $ telemetry_arg $ trace_arg $ trace_sample_arg $ jobs_arg $ profile_arg)
 
 let ablation_quant_cmd =
   let run scale seed jobs =
@@ -362,7 +458,7 @@ let ablation_backend_cmd =
     Term.(const run $ scale_arg $ seed_arg $ jobs_arg)
 
 let churn_cmd =
-  let run seed telemetry trace trace_sample jobs =
+  let run seed telemetry trace trace_sample jobs profile =
     let params = { Experiments.Churn.default with Experiments.Churn.seed } in
     let tel, finish_telemetry =
       setup_telemetry ~telemetry ~trace ~trace_sample ~seed
@@ -373,22 +469,34 @@ let churn_cmd =
       if qvisor then Option.value tel ~default:Engine.Telemetry.disabled
       else Engine.Telemetry.disabled
     in
+    (* One private profiler per scheme, merged naive-then-qvisor. *)
+    let profiler = make_profiler profile in
+    let prof_of_scheme ~qvisor:_ =
+      if Engine.Span.is_enabled profiler then Engine.Span.create ()
+      else Engine.Span.disabled
+    in
+    let prof_naive = prof_of_scheme ~qvisor:false in
+    let prof_qvisor = prof_of_scheme ~qvisor:true in
+    let profiler_for ~qvisor = if qvisor then prof_qvisor else prof_naive in
     progress "running churn (naive + qvisor)...@.";
     match
       Experiments.Churn.compare_schemes ~jobs:(max 1 jobs) ~telemetry_for
-        params
+        ~profiler_for params
     with
     | [ naive; qvisor ] ->
       Format.printf "%a@.@.%a@." Experiments.Churn.print [ naive; qvisor ]
         Experiments.Churn.print_activity qvisor;
-      finish_telemetry ()
+      finish_telemetry ();
+      Engine.Span.merge_into ~into:profiler ~tid:1 prof_naive;
+      Engine.Span.merge_into ~into:profiler ~tid:2 prof_qvisor;
+      write_profile profile profiler
     | _ -> assert false
   in
   let doc = "Ablation A3: tenant churn (the paper's Fig. 2 timeline)." in
   Cmd.v (Cmd.info "churn" ~doc)
     Term.(
       const run $ seed_arg $ telemetry_arg $ trace_arg $ trace_sample_arg
-      $ jobs_arg)
+      $ jobs_arg $ profile_arg)
 
 let single_cmd =
   let scheme_arg =
@@ -402,7 +510,8 @@ let single_cmd =
     let doc = "pFabric tenant load." in
     Arg.(value & opt float 0.5 & info [ "load" ] ~docv:"LOAD" ~doc)
   in
-  let run scale seed scheme load config telemetry trace trace_sample =
+  let run scale seed scheme load config telemetry trace trace_sample profile
+      flight =
     let params =
       { (resolve_params scale config seed) with Experiments.Fig4.load }
     in
@@ -416,7 +525,13 @@ let single_cmd =
     let tel, finish_telemetry =
       setup_telemetry ~telemetry ~trace ~trace_sample ~seed
     in
-    let r = or_die (Experiments.Fig4.run ?telemetry:tel params scheme) in
+    let profiler = make_profiler profile in
+    let flight_config, on_anomaly, finish_flight = setup_flight flight in
+    let r =
+      or_die
+        (Experiments.Fig4.run ?telemetry:tel ~profiler ?flight:flight_config
+           ?on_anomaly params scheme)
+    in
     Format.printf
       "@[<v>%s @ load %.2f@,small mean %.3f ms (p99 %.3f)@,large mean %.3f ms \
        (p99 %.3f)@,completed %d/%d, drops %d, cbr-ok %s@,engine %d events in \
@@ -431,13 +546,32 @@ let single_cmd =
       r.Experiments.Fig4.events_fired r.Experiments.Fig4.wall_seconds
       (float_of_int r.Experiments.Fig4.events_fired
       /. r.Experiments.Fig4.wall_seconds);
-    finish_telemetry ()
+    (* A compact percentile summary of the port histograms (the live
+       registry's P^2 sketches, via Telemetry.Histogram.quantile). *)
+    (match tel with
+    | Some tel when telemetry ->
+      let q = Engine.Telemetry.Histogram.quantile in
+      let depth = Engine.Telemetry.histogram tel "net.queue_depth_pkts" in
+      let sojourn = Engine.Telemetry.histogram tel "net.sojourn_seconds" in
+      Format.printf "@[<v>%-24s %10s %10s %10s@," "histogram" "p50" "p90"
+        "p99";
+      Format.printf "%-24s %10.1f %10.1f %10.1f@," "queue depth (pkts)"
+        (q depth 0.5) (q depth 0.9) (q depth 0.99);
+      Format.printf "%-24s %10.4f %10.4f %10.4f@]@." "sojourn (ms)"
+        (1e3 *. q sojourn 0.5)
+        (1e3 *. q sojourn 0.9)
+        (1e3 *. q sojourn 0.99)
+    | _ -> ());
+    finish_telemetry ();
+    finish_flight ();
+    write_profile profile profiler
   in
   let doc = "Run a single (scheme, load) point." in
   Cmd.v (Cmd.info "single" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ scheme_arg $ load_arg $ config_arg
-      $ telemetry_arg $ trace_arg $ trace_sample_arg)
+      $ telemetry_arg $ trace_arg $ trace_sample_arg $ profile_arg
+      $ flight_arg)
 
 let validate_cmd =
   let run seed =

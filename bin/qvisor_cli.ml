@@ -175,6 +175,33 @@ let jobs_arg =
     & opt int (Engine.Parallel.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let profile_arg =
+  let doc =
+    "Write a span profile of the run to $(docv) as Chrome trace-event JSON \
+     (load in Perfetto or chrome://tracing); a sorted self/total-time table \
+     is printed to stderr.  The profiled span structure is identical for \
+     any --jobs value."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let make_profiler profile =
+  match profile with
+  | Some _ -> Engine.Span.create ()
+  | None -> Engine.Span.disabled
+
+let write_profile profile profiler =
+  match profile with
+  | None -> ()
+  | Some path ->
+    (try
+       Out_channel.with_open_text path (fun oc ->
+           Engine.Span.write_chrome profiler oc)
+     with Sys_error e ->
+       Format.eprintf "cannot write profile: %s@." e;
+       exit 1);
+    Format.eprintf "%a@." Engine.Span.pp_table profiler;
+    Format.eprintf "wrote %s@." path
+
 (* Cap the per-tenant label sweep so wide rank ranges stay cheap. *)
 let max_sweep_labels = 4096
 
@@ -217,8 +244,12 @@ let dry_run_parts tenants =
 
 (* Runs on a worker domain: a private registry, a private pre-processor
    over the shared (immutable) plan, and — when tracing — a private sink
-   on a temp file whose sampler is seeded from the partition index. *)
-let run_dry_run_part ~plan ~trace ~trace_sample part =
+   on a temp file whose sampler is seeded from the partition index.  When
+   profiling, the part also carries a private span profiler, merged back
+   in partition order. *)
+let run_dry_run_part ~plan ~trace ~trace_sample ~profiled part =
+  let prof = if profiled then Engine.Span.create () else Engine.Span.disabled in
+  Engine.Span.with_ prof ~name:"plan.dry_run_part" @@ fun () ->
   let tel = Engine.Telemetry.create () in
   let sink =
     match trace with
@@ -230,7 +261,7 @@ let run_dry_run_part ~plan ~trace ~trace_sample part =
         oc;
       Some (path, oc)
   in
-  let pre = Qvisor.Preprocessor.of_plan ~telemetry:tel plan in
+  let pre = Qvisor.Preprocessor.of_plan ~profiler:prof ~telemetry:tel plan in
   List.iteri
     (fun i (tenant, label) ->
       let p = Sched.Packet.make ~tenant ~rank:label ~flow:0 ~size:1500 () in
@@ -238,16 +269,17 @@ let run_dry_run_part ~plan ~trace ~trace_sample part =
       if Engine.Telemetry.tracing tel then
         Engine.Telemetry.event tel
           ~time:(float_of_int (part.seq_offset + i))
-          ~kind:"preprocess" ~tenant ~rank_before:p.Sched.Packet.label
-          ~rank:p.Sched.Packet.rank ())
+          ~kind:"preprocess" ~tenant ~uid:p.Sched.Packet.uid
+          ~rank_before:p.Sched.Packet.label ~rank:p.Sched.Packet.rank ())
     part.shots;
-  (tel, sink)
+  (tel, sink, prof)
 
 let plan_cmd =
   let run tenant_specs policy_str queues levels json spec_file pipeline
-      telemetry trace trace_sample jobs =
+      telemetry trace trace_sample jobs profile =
     let tenants, policy = resolve_spec spec_file tenant_specs policy_str in
     let config = { Qvisor.Synthesizer.default_config with levels } in
+    let profiler = make_profiler profile in
     (* Exercise the pre-processor and return its registry snapshot (None
        when telemetry is off). *)
     if trace_sample < 0. || trace_sample > 1. then begin
@@ -265,7 +297,8 @@ let plan_cmd =
         let parts = dry_run_parts tenants in
         let results =
           Engine.Parallel.map ~jobs:(max 1 jobs)
-            (run_dry_run_part ~plan ~trace ~trace_sample)
+            (run_dry_run_part ~plan ~trace ~trace_sample
+               ~profiled:(Engine.Span.is_enabled profiler))
             parts
         in
         let merged = Engine.Telemetry.create () in
@@ -282,9 +315,10 @@ let plan_cmd =
             Engine.Telemetry.attach_sink merged ~sample:trace_sample oc;
             Some (path, oc)
         in
-        List.iter
-          (fun (tel, sink) ->
+        List.iteri
+          (fun i (tel, sink, prof) ->
             Engine.Telemetry.merge_into ~into:merged tel;
+            Engine.Span.merge_into ~into:profiler ~tid:(i + 1) prof;
             match (sink, final) with
             | Some (tmp, tmp_oc), Some (_, oc) ->
               Engine.Telemetry.detach_sink tel;
@@ -311,7 +345,7 @@ let plan_cmd =
         Some snap
       end
     in
-    match Qvisor.Synthesizer.synthesize ~config ~tenants ~policy () with
+    match Qvisor.Synthesizer.synthesize ~profiler ~config ~tenants ~policy () with
     | Error e ->
       Format.eprintf "synthesis error: %s@." (Qvisor.Error.to_string e);
       exit 1
@@ -332,6 +366,7 @@ let plan_cmd =
           @ telemetry_fields)
       in
       print_endline (Engine.Json.to_string ~pretty:true payload);
+      write_profile profile profiler;
       if not report.Qvisor.Analysis.feasible then exit 2
     | Ok plan ->
       Format.printf "%a@.@." Qvisor.Synthesizer.pp_plan plan;
@@ -371,6 +406,7 @@ let plan_cmd =
         if telemetry then
           Format.printf "@.telemetry:@.%s@."
             (Engine.Json.to_string ~pretty:true snap));
+      write_profile profile profiler;
       if not report.Qvisor.Analysis.feasible then exit 2
   in
   let doc = "Synthesize a joint scheduling plan and analyze its guarantees." in
@@ -378,7 +414,7 @@ let plan_cmd =
     Term.(
       const run $ tenants_arg $ policy_arg $ queues_arg $ levels_arg $ json_arg
       $ spec_file_arg $ pipeline_arg $ telemetry_arg $ trace_arg
-      $ trace_sample_arg $ jobs_arg)
+      $ trace_sample_arg $ jobs_arg $ profile_arg)
 
 let fit_cmd =
   let queues_required =
@@ -555,9 +591,37 @@ let conformance_cmd =
         exit 1
       end
   in
-  let run_fuzz backends seed cases jobs repro =
+  (* Replay the shrunk reproducer once more with a flight recorder armed
+     and dump the packet-level story of the divergence next to it. *)
+  let dump_flight backend small repro =
+    let flight = Filename.remove_extension repro ^ ".flight.ndjson" in
+    match Conformance.Scenario.plan small with
+    | Error _ -> ()
+    | Ok plan -> (
+      match
+        backend.Conformance.Differential.make ~plan
+          ~capacity_pkts:small.Conformance.Scenario.capacity_pkts
+      with
+      | Error _ -> ()
+      | Ok qdisc ->
+        let recorder = Engine.Recorder.create () in
+        ignore
+          (Conformance.Differential.replay ~recorder ~plan ~qdisc small);
+        (try
+           Out_channel.with_open_text flight (fun oc ->
+               Engine.Recorder.dump recorder oc);
+           Format.printf
+             "  flight recorder: %s (inspect with: qvisor-cli trace query \
+              --file %s)@."
+             flight flight
+         with Sys_error e ->
+           Format.eprintf "cannot write flight dump: %s@." e))
+  in
+  let run_fuzz backends seed cases jobs repro profile =
+    let profiler = make_profiler profile in
     let res =
-      Conformance.Differential.run_cases ~jobs ~backends ~seed ~cases ()
+      Conformance.Differential.run_cases ~jobs ~profiler ~backends ~seed
+        ~cases ()
     in
     Format.printf "%a@." Conformance.Differential.pp_run res;
     List.iter
@@ -565,6 +629,7 @@ let conformance_cmd =
       res.Conformance.Differential.errors;
     match res.Conformance.Differential.failures with
     | [] ->
+      write_profile profile profiler;
       if res.Conformance.Differential.errors <> [] then exit 1;
       Format.printf
         "all %d cases conform: exact backends match the oracle verbatim@."
@@ -594,10 +659,12 @@ let conformance_cmd =
         (Conformance.Scenario.num_events sc)
         (Conformance.Scenario.num_events small)
         small.Conformance.Scenario.capacity_pkts repro;
+      dump_flight backend small repro;
       Format.printf "  replay with: qvisor-cli conformance --replay %s@." repro;
+      write_profile profile profiler;
       exit 1
   in
-  let run seed cases jobs replay inject repro =
+  let run seed cases jobs replay inject repro profile =
     if cases <= 0 then begin
       Format.eprintf "--cases must be positive@.";
       exit 1
@@ -605,7 +672,7 @@ let conformance_cmd =
     let backends = backends_for inject in
     match replay with
     | Some path -> run_replay backends path
-    | None -> run_fuzz backends seed cases (max 1 jobs) repro
+    | None -> run_fuzz backends seed cases (max 1 jobs) repro profile
   in
   let doc =
     "Differentially verify scheduler backends against an ideal-PIFO oracle \
@@ -620,7 +687,58 @@ let conformance_cmd =
   Cmd.v (Cmd.info "conformance" ~doc)
     Term.(
       const run $ seed_arg $ cases_arg $ jobs_arg $ replay_arg $ inject_arg
-      $ repro_arg)
+      $ repro_arg $ profile_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace: packet-lineage forensics over NDJSON event files            *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let file_arg =
+    let doc =
+      "NDJSON event file: a --trace output of $(b,plan)/the experiment \
+       runner, or a flight-recorder dump ($(i,*.flight.ndjson))."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let uid_arg =
+    let doc = "Select one packet by uid (the scenario sid in conformance dumps)." in
+    Arg.(value & opt (some int) None & info [ "uid" ] ~docv:"UID" ~doc)
+  in
+  let flow_arg =
+    let doc = "Select all packets of a flow." in
+    Arg.(value & opt (some int) None & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let tenant_arg =
+    let doc = "Select all packets of a tenant." in
+    Arg.(value & opt (some int) None & info [ "tenant" ] ~docv:"TENANT" ~doc)
+  in
+  let query_cmd =
+    let run file uid flow tenant =
+      match Engine.Lineage.load_file file with
+      | Error e ->
+        Format.eprintf "%s: %s@." file e;
+        exit 1
+      | Ok events -> (
+        match Engine.Lineage.lineage ?uid ?flow ?tenant events with
+        | [] ->
+          Format.printf "no events match (%d in file)@." (List.length events)
+        | selected -> Format.printf "%a@." Engine.Lineage.pp_lineage selected)
+    in
+    let doc =
+      "Join an NDJSON trace or flight-recorder dump by packet uid, flow, or \
+       tenant and print each matching packet's stage-by-stage rank journey \
+       (preprocess, enqueue, dequeue, drop, evict)."
+    in
+    Cmd.v (Cmd.info "query" ~doc)
+      Term.(const run $ file_arg $ uid_arg $ flow_arg $ tenant_arg)
+  in
+  let doc =
+    "Packet-lineage forensics over the NDJSON events written by telemetry \
+     trace sinks and flight-recorder dumps."
+  in
+  Cmd.group (Cmd.info "trace" ~doc) [ query_cmd ]
 
 let () =
   let doc = "QVISOR control-plane tools" in
@@ -628,4 +746,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "qvisor-cli" ~doc)
-          [ plan_cmd; fit_cmd; check_cmd; conformance_cmd ]))
+          [ plan_cmd; fit_cmd; check_cmd; conformance_cmd; trace_cmd ]))

@@ -108,7 +108,8 @@ let tier_info (plan : Qvisor.Synthesizer.plan) =
     tiers;
   (names, fun tenant_id -> Hashtbl.find_opt by_tenant tenant_id)
 
-let replay ~plan ~qdisc (sc : Scenario.t) =
+let replay ?(recorder = Engine.Recorder.disabled) ~plan ~qdisc
+    (sc : Scenario.t) =
   let pre = Qvisor.Preprocessor.of_plan plan in
   let tier_names, tier_of = tier_info plan in
   let n_tiers = Array.length tier_names in
@@ -143,8 +144,16 @@ let replay ~plan ~qdisc (sc : Scenario.t) =
     | Some ti -> tier_queued.(ti) <- tier_queued.(ti) - 1
     | None -> ()
   in
-  List.iter
-    (function
+  (* Flight-recorder events carry the scenario sid as uid and the event
+     index as the timestamp (conformance replay has no clock), so the
+     dump joins with the reproducer's sid vocabulary. *)
+  let rec_event ~ei ~kind ~rank_before (it : Oracle.item) =
+    Engine.Recorder.record recorder ~time:(float_of_int ei) ~kind
+      ~uid:it.Oracle.sid ~link:(-1) ~tenant:it.Oracle.tenant
+      ~flow:it.Oracle.tenant ~rank_before ~rank:it.Oracle.rank
+  in
+  List.iteri
+    (fun ei -> function
       | Scenario.Enqueue { tenant; label; size } ->
         let p = Sched.Packet.make ~tenant ~rank:label ~flow:tenant ~size () in
         Qvisor.Preprocessor.process pre p;
@@ -153,6 +162,8 @@ let replay ~plan ~qdisc (sc : Scenario.t) =
         in
         incr next_sid;
         Hashtbl.replace items p.Sched.Packet.uid it;
+        rec_event ~ei ~kind:Engine.Recorder.Preprocess ~rank_before:label it;
+        rec_event ~ei ~kind:Engine.Recorder.Enqueue ~rank_before:(-1) it;
         let victims = qdisc.Sched.Qdisc.enqueue p in
         if Sched.Qdisc.accepted qdisc p victims then begin
           add_rank it.Oracle.rank;
@@ -164,16 +175,22 @@ let replay ~plan ~qdisc (sc : Scenario.t) =
           (fun (d : Sched.Packet.t) ->
             let dit = Hashtbl.find items d.Sched.Packet.uid in
             dropped := dit.Oracle.sid :: !dropped;
+            let arriving = d.Sched.Packet.uid = p.Sched.Packet.uid in
+            rec_event ~ei
+              ~kind:
+                (if arriving then Engine.Recorder.Drop
+                 else Engine.Recorder.Evict)
+              ~rank_before:(-1) dit;
             (* A dropped packet other than the arrival was evicted from
                the queue: unaccount it. *)
-            if d.Sched.Packet.uid <> p.Sched.Packet.uid then
-              account_removed dit)
+            if not arriving then account_removed dit)
           victims
       | Scenario.Dequeue -> (
         match qdisc.Sched.Qdisc.dequeue () with
         | None -> ()
         | Some p ->
           let it = Hashtbl.find items p.Sched.Packet.uid in
+          rec_event ~ei ~kind:Engine.Recorder.Dequeue ~rank_before:(-1) it;
           account_removed it;
           incr dequeues;
           (match IntMap.min_binding_opt !queued_ranks with
@@ -328,13 +345,24 @@ type case_summary = {
   cs_enqueues : int;
   cs_rows : case_row list;  (** aligned with the backend list *)
   cs_error : string option;
+  cs_profile : Engine.Span.t;  (** the worker's private span profiler *)
 }
 
-let run_cases ?(jobs = 1) ?telemetry ?(backends = standard_backends ()) ~seed
-    ~cases () =
+let run_cases ?(jobs = 1) ?telemetry ?(profiler = Engine.Span.disabled)
+    ?(backends = standard_backends ()) ~seed ~cases () =
   let per_case i =
+    (* A private profiler per case, merged below in case order — the
+       merged span structure is independent of [jobs]. *)
+    let prof =
+      if Engine.Span.is_enabled profiler then Engine.Span.create ()
+      else Engine.Span.disabled
+    in
+    Engine.Span.with_ prof ~name:"conformance.case" @@ fun () ->
     let cseed = Engine.Rng.derive ~seed i in
-    let sc = Scenario.generate ~seed:cseed in
+    let sc =
+      Engine.Span.with_ prof ~name:"conformance.generate" @@ fun () ->
+      Scenario.generate ~seed:cseed
+    in
     let base =
       {
         cs_index = i;
@@ -343,9 +371,13 @@ let run_cases ?(jobs = 1) ?telemetry ?(backends = standard_backends ()) ~seed
         cs_enqueues = Scenario.num_enqueues sc;
         cs_rows = [];
         cs_error = None;
+        cs_profile = prof;
       }
     in
-    match run_scenario ~backends sc with
+    match
+      Engine.Span.with_ prof ~name:"conformance.verify" @@ fun () ->
+      run_scenario ~backends sc
+    with
     | Error e -> { base with cs_error = Some (Qvisor.Error.to_string e) }
     | Ok (_oracle, rows) ->
       {
@@ -369,6 +401,11 @@ let run_cases ?(jobs = 1) ?telemetry ?(backends = standard_backends ()) ~seed
   let summaries =
     Engine.Parallel.map ~jobs:(max 1 jobs) per_case (List.init cases Fun.id)
   in
+  List.iter
+    (fun cs ->
+      Engine.Span.merge_into ~into:profiler ~tid:(cs.cs_index + 1)
+        cs.cs_profile)
+    summaries;
   let n_backends = List.length backends in
   let acc =
     Array.of_list

@@ -59,10 +59,18 @@ type replay = {
 type verdict = { matches : bool; divergence : string option }
 
 val replay :
+  ?recorder:Engine.Recorder.t ->
   plan:Qvisor.Synthesizer.plan ->
   qdisc:Sched.Qdisc.t ->
   Scenario.t ->
   replay
+(** [recorder] (default: off) receives one flight-recorder event per
+    data-plane step — [preprocess] (label -> transformed rank) and
+    [enqueue] on every arrival, [drop]/[evict] per victim, [dequeue] per
+    service — with the scenario {e sid} as the packet uid and the event
+    index as the timestamp.  Replaying a shrunk reproducer with a
+    recorder and {!Engine.Recorder.dump}ing it yields the packet-level
+    story of the divergence. *)
 
 val compare_to_oracle : Oracle.outcome -> replay -> verdict
 (** Exact match: same served sid sequence and same drop sid sequence.
@@ -119,6 +127,7 @@ type run_result = {
 val run_cases :
   ?jobs:int ->
   ?telemetry:Engine.Telemetry.t ->
+  ?profiler:Engine.Span.t ->
   ?backends:backend_spec list ->
   seed:int ->
   cases:int ->
@@ -130,7 +139,11 @@ val run_cases :
     statistics in case order — byte-identical output for any [jobs].
     With [telemetry], counters [conformance.cases], [conformance.events],
     [conformance.dequeues], [conformance.inversions] and
-    [conformance.mismatches] accumulate across the run. *)
+    [conformance.mismatches] accumulate across the run.  With [profiler],
+    each case runs under a private profiler (["conformance.case"] with
+    ["conformance.generate"] / ["conformance.verify"] children) merged
+    into [profiler] in case order with [tid = case index + 1] — span
+    structure independent of [jobs]. *)
 
 val pp_run : Format.formatter -> run_result -> unit
 (** The per-backend conformance table. *)

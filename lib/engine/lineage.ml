@@ -1,0 +1,130 @@
+type event = {
+  t : float;
+  ev : string;
+  uid : int option;
+  link : int option;
+  tenant : int option;
+  flow : int option;
+  rank_before : int option;
+  rank : int option;
+}
+
+let int_field name json =
+  match Json.member name json with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Ok (Some i)
+    | None -> Error (Printf.sprintf "field %S is not an integer" name))
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let* t =
+    match Option.bind (Json.member "t" json) Json.to_float with
+    | Some t -> Ok t
+    | None -> Error "missing numeric field \"t\""
+  in
+  let* ev =
+    match Option.bind (Json.member "ev" json) Json.to_str with
+    | Some e -> Ok e
+    | None -> Error "missing string field \"ev\""
+  in
+  let* uid = int_field "uid" json in
+  let* link = int_field "link" json in
+  let* tenant = int_field "tenant" json in
+  let* flow = int_field "flow" json in
+  let* rank_before = int_field "rank_before" json in
+  let* rank = int_field "rank" json in
+  Ok { t; ev; uid; link; tenant; flow; rank_before; rank }
+
+let of_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok json -> of_json json
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+    let lines = String.split_on_char '\n' contents in
+    let rec go lineno acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else (
+          match of_line line with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok e -> go (lineno + 1) (e :: acc) rest)
+    in
+    go 1 [] lines
+
+let field_matches filter field =
+  match filter with
+  | None -> true
+  | Some want -> ( match field with Some got -> got = want | None -> false)
+
+let matches ?uid ?flow ?tenant e =
+  field_matches uid e.uid
+  && field_matches flow e.flow
+  && field_matches tenant e.tenant
+
+let lineage ?uid ?flow ?tenant events =
+  let kept = List.filter (matches ?uid ?flow ?tenant) events in
+  (* Stable, so same-time stages of one packet keep file order
+     (preprocess before enqueue). *)
+  List.stable_sort
+    (fun a b ->
+      match (a.uid, b.uid) with
+      | Some ua, Some ub when ua <> ub -> compare ua ub
+      | Some _, None -> -1
+      | None, Some _ -> 1
+      | _ -> compare a.t b.t)
+    kept
+
+let pp_opt_int ppf ~label = function
+  | None -> ()
+  | Some v -> Format.fprintf ppf "  %s=%d" label v
+
+let pp_event ppf e =
+  Format.fprintf ppf "t=%-10.6f %-12s" e.t e.ev;
+  pp_opt_int ppf ~label:"link" e.link;
+  (match (e.rank_before, e.rank) with
+  | Some before, Some after when before <> after ->
+    Format.fprintf ppf "  rank %d -> %d" before after
+  | _, Some r -> Format.fprintf ppf "  rank=%d" r
+  | Some before, None -> Format.fprintf ppf "  rank_before=%d" before
+  | None, None -> ())
+
+let pp_lineage ppf events =
+  (* Partition into per-uid journeys, preserving lineage order. *)
+  let groups : (int option, event list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt groups e.uid with
+      | Some r -> r := e :: !r
+      | None ->
+        Hashtbl.add groups e.uid (ref [ e ]);
+        order := e.uid :: !order)
+    events;
+  let first = ref true in
+  List.iter
+    (fun uid ->
+      let evs = List.rev !(Hashtbl.find groups uid) in
+      if not !first then Format.fprintf ppf "@,";
+      first := false;
+      let head = List.hd evs in
+      Format.fprintf ppf "@[<v 2>packet %s"
+        (match uid with
+        | Some u -> Printf.sprintf "uid=%d" u
+        | None -> "uid=?");
+      (match (head.tenant, head.flow) with
+      | Some t, Some f -> Format.fprintf ppf " (tenant %d, flow %d)" t f
+      | Some t, None -> Format.fprintf ppf " (tenant %d)" t
+      | None, Some f -> Format.fprintf ppf " (flow %d)" f
+      | None, None -> ());
+      Format.fprintf ppf ": %d event%s" (List.length evs)
+        (if List.length evs = 1 then "" else "s");
+      List.iter (fun e -> Format.fprintf ppf "@,%a" pp_event e) evs;
+      Format.fprintf ppf "@]")
+    (List.rev !order)

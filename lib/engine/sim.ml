@@ -5,10 +5,11 @@ type t = {
   queue : handle Event_queue.t;
   mutable fired : int;
   mutable busy : float; (* wall-clock seconds spent inside [run] *)
+  profiler : Span.t;
 }
 
-let create () =
-  { clock = 0.; queue = Event_queue.create (); fired = 0; busy = 0. }
+let create ?(profiler = Span.disabled) () =
+  { clock = 0.; queue = Event_queue.create (); fired = 0; busy = 0.; profiler }
 
 let now t = t.clock
 
@@ -44,19 +45,20 @@ let step t =
     true
 
 let run ?until t =
-  let started = Unix.gettimeofday () in
-  (match until with
-  | None -> while step t do () done
-  | Some horizon ->
-    let continue = ref true in
-    while !continue do
-      match Event_queue.peek_time t.queue with
-      | Some time when time <= horizon -> ignore (step t)
-      | Some _ | None ->
-        t.clock <- max t.clock horizon;
-        continue := false
-    done);
-  t.busy <- t.busy +. (Unix.gettimeofday () -. started)
+  Span.with_ t.profiler ~name:"sim.run" (fun () ->
+      let started = Unix.gettimeofday () in
+      (match until with
+      | None -> while step t do () done
+      | Some horizon ->
+        let continue = ref true in
+        while !continue do
+          match Event_queue.peek_time t.queue with
+          | Some time when time <= horizon -> ignore (step t)
+          | Some _ | None ->
+            t.clock <- max t.clock horizon;
+            continue := false
+        done);
+      t.busy <- t.busy +. (Unix.gettimeofday () -. started))
 
 let pending_events t = Event_queue.size t.queue
 

@@ -10,7 +10,9 @@ type t
 type handle
 (** Cancellation handle for a scheduled event. *)
 
-val create : unit -> t
+val create : ?profiler:Span.t -> unit -> t
+(** [profiler] (default: off) wraps every {!run} call in a ["sim.run"]
+    span. *)
 
 val now : t -> float
 (** Current virtual time, in seconds.  Starts at [0.]. *)

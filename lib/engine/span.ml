@@ -1,0 +1,147 @@
+type entry = { begins : bool; name : string; ts : float; tid : int }
+
+type t = {
+  enabled : bool;
+  entries : entry Vec.t;
+  mutable closed : int;
+}
+
+let create () = { enabled = true; entries = Vec.create (); closed = 0 }
+
+let disabled = { enabled = false; entries = Vec.create (); closed = 0 }
+
+let is_enabled t = t.enabled
+
+let with_ t ~name f =
+  if not t.enabled then f ()
+  else begin
+    Vec.add_last t.entries
+      { begins = true; name; ts = Unix.gettimeofday (); tid = 0 };
+    Fun.protect
+      ~finally:(fun () ->
+        Vec.add_last t.entries
+          { begins = false; name; ts = Unix.gettimeofday (); tid = 0 };
+        t.closed <- t.closed + 1)
+      f
+  end
+
+let entries t = Vec.to_list t.entries
+
+let span_count t = t.closed
+
+let merge_into ~into ?tid src =
+  if into.enabled && src.enabled then begin
+    Vec.iter
+      (fun e ->
+        let e = match tid with None -> e | Some tid -> { e with tid } in
+        Vec.add_last into.entries e)
+      src.entries;
+    into.closed <- into.closed + src.closed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type total = { name : string; count : int; total_s : float; self_s : float }
+
+type frame = { f_name : string; f_start : float; mutable f_child : float }
+
+let totals t =
+  let agg : (string, total) Hashtbl.t = Hashtbl.create 16 in
+  (* Balanced pairs are guaranteed per tid (with_ emits both markers and
+     merge copies whole profiles), so a per-tid stack replay recovers the
+     nesting. *)
+  let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  Vec.iter
+    (fun e ->
+      let stack = stack_of e.tid in
+      if e.begins then
+        stack := { f_name = e.name; f_start = e.ts; f_child = 0. } :: !stack
+      else begin
+        match !stack with
+        | [] -> () (* unbalanced input: ignore the stray end marker *)
+        | f :: rest ->
+          stack := rest;
+          let dur = e.ts -. f.f_start in
+          (match rest with
+          | parent :: _ -> parent.f_child <- parent.f_child +. dur
+          | [] -> ());
+          let prev =
+            Option.value
+              (Hashtbl.find_opt agg f.f_name)
+              ~default:{ name = f.f_name; count = 0; total_s = 0.; self_s = 0. }
+          in
+          Hashtbl.replace agg f.f_name
+            {
+              prev with
+              count = prev.count + 1;
+              total_s = prev.total_s +. dur;
+              self_s = prev.self_s +. Float.max 0. (dur -. f.f_child);
+            }
+      end)
+    t.entries;
+  Hashtbl.fold (fun _ v acc -> v :: acc) agg []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let pp_table ppf t =
+  let rows =
+    totals t
+    |> List.sort (fun a b ->
+           match compare b.total_s a.total_s with
+           | 0 -> compare a.name b.name
+           | c -> c)
+  in
+  Format.fprintf ppf "@[<v>%-36s %8s %12s %12s@," "span" "count" "total (s)"
+    "self (s)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-36s %8d %12.4f %12.4f@," r.name r.count r.total_s
+        r.self_s)
+    rows;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                          *)
+(* ------------------------------------------------------------------ *)
+
+let to_chrome_json t =
+  let base =
+    Vec.fold_left
+      (fun acc (e : entry) -> Float.min acc e.ts)
+      infinity t.entries
+  in
+  let events =
+    Vec.fold_left
+      (fun acc (e : entry) ->
+        Json.Obj
+          [
+            ("name", Json.String e.name);
+            ("cat", Json.String "qvisor");
+            ("ph", Json.String (if e.begins then "B" else "E"));
+            ("ts", Json.Number (1e6 *. (e.ts -. base)));
+            ("pid", Json.Number 0.);
+            ("tid", Json.Number (float_of_int e.tid));
+          ]
+        :: acc)
+      [] t.entries
+    |> List.rev
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ("traceEvents", Json.List events);
+    ]
+
+let write_chrome t oc =
+  output_string oc (Json.to_string ~pretty:true (to_chrome_json t));
+  output_char oc '\n';
+  flush oc

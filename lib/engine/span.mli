@@ -1,0 +1,79 @@
+(** Hierarchical wall-clock span profiler.
+
+    A profiler collects nested timed spans ({!with_}) from the code it is
+    threaded through — synthesis, simulation runs, experiment phases,
+    conformance replays — and exports them two ways:
+
+    - {!to_chrome_json}: Chrome trace-event JSON (balanced ["B"]/["E"]
+      event pairs), loadable in Perfetto / [chrome://tracing];
+    - {!pp_table}: a per-name count / total / self wall-time table.
+
+    Parallel runs give every job its own profiler and fold them back with
+    {!merge_into} in submission order, each under its own [tid].  The
+    {e structure} of the merged profile — the set of span names, their
+    counts, and their nesting — is a deterministic function of the work,
+    identical for any worker count; the wall-clock durations are real
+    measurements and vary run to run. *)
+
+type t
+
+(** One raw profile entry: a begin or end marker.  Exposed for tests and
+    custom exporters; {!with_} always emits balanced pairs. *)
+type entry = {
+  begins : bool;
+  name : string;
+  ts : float;  (** absolute wall-clock seconds ([Unix.gettimeofday]) *)
+  tid : int;  (** logical thread lane (0 until retagged by merge) *)
+}
+
+val create : unit -> t
+
+val disabled : t
+(** The shared no-op profiler: {!with_} just runs its thunk. *)
+
+val is_enabled : t -> bool
+
+val with_ : t -> name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  The end marker is emitted even when the
+    thunk raises. *)
+
+val entries : t -> entry list
+(** All entries in recording order (merged blocks follow the host's own
+    entries, in merge order). *)
+
+val span_count : t -> int
+(** Closed spans recorded so far (balanced pairs). *)
+
+val merge_into : into:t -> ?tid:int -> t -> unit
+(** Append [src]'s entries to [into], retagged with [tid] (default: kept
+    as recorded).  Merging the same profilers in the same order yields
+    the same span names and counts — how parallel sweeps keep
+    [--profile] output structure independent of [--jobs].  No-op when
+    either side is disabled.  [src] is left untouched. *)
+
+(** {1 Aggregation} *)
+
+type total = {
+  name : string;
+  count : int;
+  total_s : float;  (** summed span durations (children included) *)
+  self_s : float;  (** summed durations minus time in child spans *)
+}
+
+val totals : t -> total list
+(** Per-name aggregates, sorted by name — the deterministic skeleton two
+    runs of the same work must agree on (counts and names; the times are
+    measurements). *)
+
+val pp_table : Format.formatter -> t -> unit
+(** The totals as a table, largest [total_s] first. *)
+
+(** {1 Export} *)
+
+val to_chrome_json : t -> Json.t
+(** [{"displayTimeUnit":"ms","traceEvents":[...]}] with one ["B"] and one
+    ["E"] event per span ([pid] 0, [tid] as tagged, [ts] microseconds
+    rebased to the earliest entry). *)
+
+val write_chrome : t -> out_channel -> unit
+(** {!to_chrome_json}, pretty-printed to the channel, flushed. *)

@@ -41,6 +41,20 @@ module Histogram = struct
   let count t = Stats.count t.stats
 
   let mean t = Stats.mean t.stats
+
+  let quantile t q =
+    let sketch =
+      if q = 0.5 then t.p50
+      else if q = 0.9 then t.p90
+      else if q = 0.99 then t.p99
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Telemetry.Histogram.quantile: only 0.5/0.9/0.99 are tracked \
+              (got %g)"
+             q)
+    in
+    P2_quantile.estimate sketch
 end
 
 module Series = struct
@@ -128,9 +142,13 @@ let series t ?(bucket = 0.01) name =
 let attach_sink t ?(sample = 1.0) ?(seed = 0) oc =
   if sample < 0. || sample > 1. then
     invalid_arg "Telemetry.attach_sink: sample outside [0,1]";
-  if t.enabled then
+  if t.enabled then begin
+    (* Flush the sink being replaced so its buffered lines reach the old
+       channel before the registry forgets it. *)
+    (match t.sink with None -> () | Some old -> flush old.oc);
     t.sink <-
       Some { oc; sample; rng = Rng.create ~seed; seen = 0; written = 0 }
+  end
 
 let detach_sink t =
   match t.sink with
@@ -145,8 +163,8 @@ let events_seen t = match t.sink with Some s -> s.seen | None -> 0
 
 let events_written t = match t.sink with Some s -> s.written | None -> 0
 
-let event t ~time ~kind ?link ?tenant ?flow ?rank_before ?rank ?(extra = [])
-    () =
+let event t ~time ~kind ?uid ?link ?tenant ?flow ?rank_before ?rank
+    ?(extra = []) () =
   match t.sink with
   | None -> ()
   | Some s ->
@@ -162,10 +180,11 @@ let event t ~time ~kind ?link ?tenant ?flow ?rank_before ?rank ?(extra = [])
       let fields =
         ("t", Json.Number time)
         :: ("ev", Json.String kind)
-        :: opt "link" link
-             (opt "tenant" tenant
-                (opt "flow" flow
-                   (opt "rank_before" rank_before (opt "rank" rank extra))))
+        :: opt "uid" uid
+             (opt "link" link
+                (opt "tenant" tenant
+                   (opt "flow" flow
+                      (opt "rank_before" rank_before (opt "rank" rank extra)))))
       in
       output_string s.oc (Json.to_string (Json.Obj fields));
       output_char s.oc '\n'

@@ -48,6 +48,13 @@ module Histogram : sig
   val count : t -> int
   val mean : t -> float
   (** [nan] when empty, like {!Stats.mean}. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] is the live P² estimate of the [q]-quantile for the
+      three sketches a histogram maintains: [q] must be [0.5], [0.9] or
+      [0.99].  [nan] when empty, exact below five observations
+      ({!P2_quantile.estimate}).
+      @raise Invalid_argument for any other [q]. *)
 end
 
 module Series : sig
@@ -83,11 +90,16 @@ val attach_sink : t -> ?sample:float -> ?seed:int -> out_channel -> unit
     probability that any given event is written; draws come from a
     splitmix64 stream seeded with [seed] (default [0]), so the set of
     sampled events is a deterministic function of the seed.  The channel
-    stays owned by the caller.  Replaces any previous sink.
+    stays owned by the caller.  Replaces any previous sink; the replaced
+    sink's channel is flushed first, so buffered NDJSON lines are never
+    lost by a swap (the old channel is not closed — it stays owned by
+    whoever attached it).
     @raise Invalid_argument unless [0. <= sample <= 1.]. *)
 
 val detach_sink : t -> unit
-(** Flush and forget the sink (the channel is not closed). *)
+(** Flush and forget the sink.  The channel is flushed so every buffered
+    line reaches it, but it is not closed — the caller that attached it
+    closes it. Detaching when no sink is attached is a no-op. *)
 
 val tracing : t -> bool
 (** [true] when a sink is attached — callers use this to skip building
@@ -97,6 +109,7 @@ val event :
   t ->
   time:float ->
   kind:string ->
+  ?uid:int ->
   ?link:int ->
   ?tenant:int ->
   ?flow:int ->

@@ -36,7 +36,9 @@ let access_rate = 1e9
 
 let fabric_rate = 4e9
 
-let run ?(telemetry = Engine.Telemetry.disabled) params ~qvisor =
+let run ?(telemetry = Engine.Telemetry.disabled)
+    ?(profiler = Engine.Span.disabled) params ~qvisor =
+  Engine.Span.with_ profiler ~name:"churn.run" @@ fun () ->
   let num_hosts = params.leaves * params.hosts_per_leaf in
   let topo =
     Netsim.Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
@@ -44,7 +46,7 @@ let run ?(telemetry = Engine.Telemetry.disabled) params ~qvisor =
       ~link_delay:1e-6
   in
   let routing = Netsim.Routing.compute topo in
-  let sim = Engine.Sim.create () in
+  let sim = Engine.Sim.create ~profiler () in
   let rng = Engine.Rng.create ~seed:params.seed in
   let transport = Netsim.Transport.create ~sim () in
   (* Tenant specs: T1 pFabric (KB ranks), T2 EDF (20 us ranks), T3 STFQ
@@ -64,11 +66,11 @@ let run ?(telemetry = Engine.Telemetry.disabled) params ~qvisor =
   let preprocess =
     if qvisor then begin
       let plan =
-        Qvisor.Synthesizer.synthesize_exn ~tenants
+        Qvisor.Synthesizer.synthesize_exn ~profiler ~tenants
           ~policy:(Qvisor.Policy.parse_exn "T1 + T2 >> T3")
           ()
       in
-      let pre = Qvisor.Preprocessor.of_plan ~telemetry plan in
+      let pre = Qvisor.Preprocessor.of_plan ~profiler ~telemetry plan in
       Some (Qvisor.Preprocessor.process pre)
     end
     else None
@@ -87,7 +89,7 @@ let run ?(telemetry = Engine.Telemetry.disabled) params ~qvisor =
   let net =
     Netsim.Net.create ~sim ~topo ~routing
       ~make_qdisc:(fun _ -> Sched.Pifo_queue.create ~capacity_pkts:100 ())
-      ?preprocess ~telemetry ~deliver ()
+      ?preprocess ~telemetry ~profiler ~deliver ()
   in
   Netsim.Transport.attach transport net;
   (* T1: interactive pFabric traffic for the whole run. *)
@@ -173,10 +175,15 @@ let run ?(telemetry = Engine.Telemetry.disabled) params ~qvisor =
   }
 
 let compare_schemes ?jobs
-    ?(telemetry_for = fun ~qvisor:_ -> Engine.Telemetry.disabled) params =
+    ?(telemetry_for = fun ~qvisor:_ -> Engine.Telemetry.disabled)
+    ?(profiler_for = fun ~qvisor:_ -> Engine.Span.disabled) params =
   (* Two independent simulations — one worker each when jobs >= 2. *)
   Engine.Parallel.map ?jobs
-    (fun qvisor -> run ~telemetry:(telemetry_for ~qvisor) params ~qvisor)
+    (fun qvisor ->
+      run
+        ~telemetry:(telemetry_for ~qvisor)
+        ~profiler:(profiler_for ~qvisor)
+        params ~qvisor)
     [ false; true ]
 
 let print ppf results =

@@ -37,20 +37,28 @@ type params = {
 val default : params
 
 val run :
-  ?telemetry:Engine.Telemetry.t -> params -> qvisor:bool -> result
+  ?telemetry:Engine.Telemetry.t ->
+  ?profiler:Engine.Span.t ->
+  params ->
+  qvisor:bool ->
+  result
 (** [telemetry] (default: off) instruments the fabric ports and — under
-    [~qvisor:true] — the pre-processor. *)
+    [~qvisor:true] — the pre-processor.  [profiler] (default: off) wraps
+    the run in a ["churn.run"] span with synthesis / net-build / sim
+    children. *)
 
 val compare_schemes :
   ?jobs:int ->
   ?telemetry_for:(qvisor:bool -> Engine.Telemetry.t) ->
+  ?profiler_for:(qvisor:bool -> Engine.Span.t) ->
   params ->
   result list
 (** Run both configurations — on separate domains when [jobs >= 2]
     (default {!Engine.Parallel.default_jobs}) — and return
     [naive; qvisor] results in that fixed order regardless of which
     finishes first.  [telemetry_for] supplies each run's private
-    registry (default: off for both). *)
+    registry (default: off for both); [profiler_for] likewise each run's
+    private span profiler. *)
 
 val print : Format.formatter -> result list -> unit
 

@@ -131,16 +131,21 @@ let qvisor_tenants params =
       ~id:edf_tenant_id ~name:"edf" ();
   ]
 
-let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
+let run ?(telemetry = Engine.Telemetry.disabled)
+    ?(profiler = Engine.Span.disabled) ?flight ?on_anomaly params scheme =
+  Engine.Span.with_ profiler ~name:"fig4.run" @@ fun () ->
   let ( let* ) = Result.bind in
   let num_hosts = params.leaves * params.hosts_per_leaf in
-  let topo =
-    Netsim.Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
-      ~hosts_per_leaf:params.hosts_per_leaf ~access_rate:params.access_rate
-      ~fabric_rate:params.fabric_rate ~link_delay:params.link_delay
+  let topo, routing =
+    Engine.Span.with_ profiler ~name:"fig4.topology" @@ fun () ->
+    let topo =
+      Netsim.Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
+        ~hosts_per_leaf:params.hosts_per_leaf ~access_rate:params.access_rate
+        ~fabric_rate:params.fabric_rate ~link_delay:params.link_delay
+    in
+    (topo, Netsim.Routing.compute topo)
   in
-  let routing = Netsim.Routing.compute topo in
-  let sim = Engine.Sim.create () in
+  let sim = Engine.Sim.create ~profiler () in
   let rng = Engine.Rng.create ~seed:params.seed in
   let transport = Netsim.Transport.create ~sim () in
   let* preprocess, make_qdisc =
@@ -172,11 +177,11 @@ let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
       in
       let* policy = Qvisor.Policy.parse policy_str in
       let* plan =
-        Qvisor.Synthesizer.synthesize ~config
+        Qvisor.Synthesizer.synthesize ~profiler ~config
           ~tenants:(qvisor_tenants params)
           ~policy ()
       in
-      let pre = Qvisor.Preprocessor.of_plan ~telemetry plan in
+      let pre = Qvisor.Preprocessor.of_plan ~profiler ~telemetry plan in
       let* qdisc =
         match params.backend with
         | None -> Ok pifo
@@ -190,6 +195,7 @@ let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
   in
   let net =
     Netsim.Net.create ~sim ~topo ~routing ~make_qdisc ?preprocess ~telemetry
+      ~profiler ?flight ?on_anomaly
       ~deliver:(Netsim.Transport.deliver transport)
       ()
   in
@@ -267,8 +273,8 @@ let run ?(telemetry = Engine.Telemetry.disabled) params scheme =
       wall_seconds;
     }
 
-let run_exn ?telemetry params scheme =
-  match run ?telemetry params scheme with
+let run_exn ?telemetry ?profiler params scheme =
+  match run ?telemetry ?profiler params scheme with
   | Ok r -> r
   | Error e -> invalid_arg ("Fig4.run: " ^ Qvisor.Error.to_string e)
 
@@ -292,6 +298,7 @@ let jobs_of_grid params ~loads ~schemes =
          })
 
 let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
+    ?(profiler_for = fun (_ : job) -> Engine.Span.disabled)
     ?(on_start = fun (_ : job) -> ()) params jobs_list =
   let outcomes =
     Engine.Parallel.map ?jobs
@@ -299,6 +306,7 @@ let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
         on_start job;
         run
           ~telemetry:(telemetry_for job)
+          ~profiler:(profiler_for job)
           { params with load = job.job_load }
           job.job_scheme)
       jobs_list
@@ -312,8 +320,8 @@ let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
   in
   collect [] outcomes
 
-let sweep ?jobs ?telemetry_for ?on_start params ~loads ~schemes =
-  run_jobs ?jobs ?telemetry_for ?on_start params
+let sweep ?jobs ?telemetry_for ?profiler_for ?on_start params ~loads ~schemes =
+  run_jobs ?jobs ?telemetry_for ?profiler_for ?on_start params
     (jobs_of_grid params ~loads ~schemes)
 
 let paper_loads = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ]

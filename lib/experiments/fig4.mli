@@ -83,17 +83,30 @@ type result = {
 
 val run :
   ?telemetry:Engine.Telemetry.t ->
+  ?profiler:Engine.Span.t ->
+  ?flight:Netsim.Net.flight_config ->
+  ?on_anomaly:(link_id:int -> Engine.Recorder.t -> unit) ->
   params ->
   scheme ->
   (result, Qvisor.Error.t) Stdlib.result
 (** Simulate one configuration.  [telemetry] (default: off) instruments
     the fabric ports and — for QVISOR schemes — the pre-processor, and
-    records [sim.events_fired] / [sim.wall_seconds] gauges.  Fails with
-    the policy/synthesis/deployment error when the scheme's QVISOR
-    configuration is invalid — never by raising, so a run can execute on
-    a worker domain. *)
+    records [sim.events_fired] / [sim.wall_seconds] gauges.  [profiler]
+    (default: off) wraps the run in a ["fig4.run"] span with
+    ["fig4.topology"], ["synthesizer.synthesize"],
+    ["preprocessor.compile"], ["net.build"], and ["sim.run"] children.
+    [flight]/[on_anomaly] arm the fabric's per-port flight recorders (see
+    {!Netsim.Net.create}).
+    Fails with the policy/synthesis/deployment error when the scheme's
+    QVISOR configuration is invalid — never by raising, so a run can
+    execute on a worker domain. *)
 
-val run_exn : ?telemetry:Engine.Telemetry.t -> params -> scheme -> result
+val run_exn :
+  ?telemetry:Engine.Telemetry.t ->
+  ?profiler:Engine.Span.t ->
+  params ->
+  scheme ->
+  result
 (** @raise Invalid_argument on configuration errors. *)
 
 type job = {
@@ -114,6 +127,7 @@ val jobs_of_grid :
 val run_jobs :
   ?jobs:int ->
   ?telemetry_for:(job -> Engine.Telemetry.t) ->
+  ?profiler_for:(job -> Engine.Span.t) ->
   ?on_start:(job -> unit) ->
   params ->
   job list ->
@@ -123,13 +137,17 @@ val run_jobs :
     order — for any worker count the result list is identical to a serial
     run.  [telemetry_for] supplies each job's private registry (merge
     them afterwards with {!Engine.Telemetry.merge_into} in job order for
-    worker-count-independent snapshots); [on_start] is invoked in the
-    {e worker} domain as a job begins, so the callback must be
-    thread-safe.  The lowest-indexed failing job's error is returned. *)
+    worker-count-independent snapshots); [profiler_for] likewise supplies
+    each job's private span profiler (merge with {!Engine.Span.merge_into}
+    in job order — the merged span {e structure} is then independent of
+    the worker count); [on_start] is invoked in the {e worker} domain as a
+    job begins, so the callback must be thread-safe.  The lowest-indexed
+    failing job's error is returned. *)
 
 val sweep :
   ?jobs:int ->
   ?telemetry_for:(job -> Engine.Telemetry.t) ->
+  ?profiler_for:(job -> Engine.Span.t) ->
   ?on_start:(job -> unit) ->
   params ->
   loads:float list ->

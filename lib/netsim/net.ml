@@ -38,6 +38,29 @@ type instruments = {
   by_tenant : (int, tenant_counters) Hashtbl.t;
 }
 
+type flight_config = {
+  ring_capacity : int;
+  trigger_window : int;
+  drop_threshold : float;
+  trigger_cooldown : int;
+}
+
+let default_flight =
+  {
+    ring_capacity = 512;
+    trigger_window = 128;
+    drop_threshold = 0.5;
+    trigger_cooldown = 128;
+  }
+
+(* Per-port flight recorders plus one drop-rate anomaly trigger each. *)
+type flight = {
+  recorders : Engine.Recorder.t array;
+  triggers : Engine.Recorder.Trigger.t array;
+  on_anomaly : link_id:int -> Engine.Recorder.t -> unit;
+  mutable anomalies : int;
+}
+
 type t = {
   sim : Engine.Sim.t;
   topo : Topology.t;
@@ -49,6 +72,7 @@ type t = {
   on_drop : Sched.Packet.t -> unit;
   deliver : Sched.Packet.t -> unit;
   ins : instruments option;
+  flight : flight option;
 }
 
 let make_instruments tel ~num_ports =
@@ -86,7 +110,9 @@ let tenant_counters ins id =
 
 let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
     ?preprocess ?(on_dequeue = fun _ -> ()) ?(on_drop = fun _ -> ())
-    ?telemetry ~deliver () =
+    ?telemetry ?(profiler = Engine.Span.disabled) ?flight
+    ?(on_anomaly = fun ~link_id:_ _ -> ()) ~deliver () =
+  Engine.Span.with_ profiler ~name:"net.build" @@ fun () ->
   let ports =
     Array.init (Topology.num_links topo) (fun id ->
         let link = Topology.link topo id in
@@ -114,6 +140,25 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
       Some (make_instruments tel ~num_ports:(Array.length ports))
     | Some _ | None -> None
   in
+  let flight =
+    match flight with
+    | None -> None
+    | Some cfg ->
+      let n = Array.length ports in
+      Some
+        {
+          recorders =
+            Array.init n (fun _ ->
+                Engine.Recorder.create ~capacity:cfg.ring_capacity ());
+          triggers =
+            Array.init n (fun _ ->
+                Engine.Recorder.Trigger.create ~window:cfg.trigger_window
+                  ~threshold:cfg.drop_threshold ~cooldown:cfg.trigger_cooldown
+                  ());
+          on_anomaly;
+          anomalies = 0;
+        }
+  in
   {
     sim;
     topo;
@@ -125,6 +170,7 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
     on_drop;
     deliver;
     ins;
+    flight;
   }
 
 let refill t bucket =
@@ -178,6 +224,16 @@ let rec pump t port =
       port.busy <- true;
       port.tx_bytes <- port.tx_bytes + p.Sched.Packet.size;
       t.on_dequeue p;
+      (match t.flight with
+      | None -> ()
+      | Some fl ->
+        let link_id = port.link.Topology.id in
+        Engine.Recorder.record
+          fl.recorders.(link_id)
+          ~time:(Engine.Sim.now t.sim) ~kind:Engine.Recorder.Dequeue
+          ~uid:p.Sched.Packet.uid ~link:link_id ~tenant:p.Sched.Packet.tenant
+          ~flow:p.Sched.Packet.flow ~rank_before:(-1)
+          ~rank:p.Sched.Packet.rank);
       (match t.ins with
       | None -> ()
       | Some ins ->
@@ -189,8 +245,9 @@ let rec pump t port =
         let now = Engine.Sim.now t.sim in
         Tel.Histogram.observe ins.sojourn (now -. p.Sched.Packet.enqueued_at);
         if Tel.tracing ins.tel then
-          Tel.event ins.tel ~time:now ~kind:"dequeue" ~link:link_id ~tenant
-            ~flow:p.Sched.Packet.flow ~rank:p.Sched.Packet.rank ());
+          Tel.event ins.tel ~time:now ~kind:"dequeue" ~uid:p.Sched.Packet.uid
+            ~link:link_id ~tenant ~flow:p.Sched.Packet.flow
+            ~rank:p.Sched.Packet.rank ());
       let tx_time = 8. *. float_of_int p.Sched.Packet.size /. port.link.Topology.rate in
       let arrival = tx_time +. port.link.Topology.delay in
       ignore
@@ -207,6 +264,41 @@ and enqueue t port p =
   p.Sched.Packet.enqueued_at <- Engine.Sim.now t.sim;
   let dropped = port.qdisc.Sched.Qdisc.enqueue p in
   List.iter t.on_drop dropped;
+  (match t.flight with
+  | None -> ()
+  | Some fl ->
+    let link_id = port.link.Topology.id in
+    let now = Engine.Sim.now t.sim in
+    let rec_ = fl.recorders.(link_id) in
+    if t.has_preprocess then
+      Engine.Recorder.record rec_ ~time:now
+        ~kind:Engine.Recorder.Preprocess ~uid:p.Sched.Packet.uid
+        ~link:link_id ~tenant:p.Sched.Packet.tenant ~flow:p.Sched.Packet.flow
+        ~rank_before:p.Sched.Packet.label ~rank:p.Sched.Packet.rank;
+    Engine.Recorder.record rec_ ~time:now ~kind:Engine.Recorder.Enqueue
+      ~uid:p.Sched.Packet.uid ~link:link_id ~tenant:p.Sched.Packet.tenant
+      ~flow:p.Sched.Packet.flow ~rank_before:(-1) ~rank:p.Sched.Packet.rank;
+    (match dropped with
+    | [] -> ()
+    | dropped ->
+      List.iter
+        (fun (d : Sched.Packet.t) ->
+          Engine.Recorder.record rec_ ~time:now
+            ~kind:
+              (if d.Sched.Packet.uid = p.Sched.Packet.uid then
+                 Engine.Recorder.Drop
+               else Engine.Recorder.Evict)
+            ~uid:d.Sched.Packet.uid ~link:link_id
+            ~tenant:d.Sched.Packet.tenant ~flow:d.Sched.Packet.flow
+            ~rank_before:(-1) ~rank:d.Sched.Packet.rank)
+        dropped);
+    if
+      Engine.Recorder.Trigger.observe fl.triggers.(link_id)
+        ~dropped:(dropped <> [])
+    then begin
+      fl.anomalies <- fl.anomalies + 1;
+      fl.on_anomaly ~link_id rec_
+    end);
   (match t.ins with
   | None -> ()
   | Some ins ->
@@ -220,11 +312,12 @@ and enqueue t port p =
       (float_of_int (port.qdisc.Sched.Qdisc.length ()));
     if Tel.tracing ins.tel then begin
       if t.has_preprocess then
-        Tel.event ins.tel ~time:now ~kind:"preprocess" ~link:link_id ~tenant
-          ~flow:p.Sched.Packet.flow ~rank_before:p.Sched.Packet.label
-          ~rank:p.Sched.Packet.rank ();
-      Tel.event ins.tel ~time:now ~kind:"enqueue" ~link:link_id ~tenant
-        ~flow:p.Sched.Packet.flow ~rank:p.Sched.Packet.rank ()
+        Tel.event ins.tel ~time:now ~kind:"preprocess" ~uid:p.Sched.Packet.uid
+          ~link:link_id ~tenant ~flow:p.Sched.Packet.flow
+          ~rank_before:p.Sched.Packet.label ~rank:p.Sched.Packet.rank ();
+      Tel.event ins.tel ~time:now ~kind:"enqueue" ~uid:p.Sched.Packet.uid
+        ~link:link_id ~tenant ~flow:p.Sched.Packet.flow
+        ~rank:p.Sched.Packet.rank ()
     end;
     List.iter
       (fun (d : Sched.Packet.t) ->
@@ -232,9 +325,9 @@ and enqueue t port p =
         Tel.Counter.incr ins.port_drop.(link_id);
         Tel.Counter.incr (tenant_counters ins d.Sched.Packet.tenant).t_drop;
         if Tel.tracing ins.tel then
-          Tel.event ins.tel ~time:now ~kind:"drop" ~link:link_id
-            ~tenant:d.Sched.Packet.tenant ~flow:d.Sched.Packet.flow
-            ~rank:d.Sched.Packet.rank ())
+          Tel.event ins.tel ~time:now ~kind:"drop" ~uid:d.Sched.Packet.uid
+            ~link:link_id ~tenant:d.Sched.Packet.tenant
+            ~flow:d.Sched.Packet.flow ~rank:d.Sched.Packet.rank ())
       dropped);
   pump t port
 
@@ -261,6 +354,14 @@ let inject t p =
   | Topology.Host -> ()
   | Topology.Switch -> invalid_arg "Net.inject: src is not a host");
   forward t src p
+
+let port_recorder t ~link_id =
+  match t.flight with
+  | None -> None
+  | Some fl -> Some fl.recorders.(link_id)
+
+let anomalies_fired t =
+  match t.flight with None -> 0 | Some fl -> fl.anomalies
 
 let total_drops t =
   Array.fold_left (fun acc port -> acc + port.qdisc.Sched.Qdisc.drops ()) 0 t.ports

@@ -25,6 +25,20 @@ type shaper = {
     mechanism behind rate-limited tenants and the paper's
     "non-work-conserving scheduling algorithms" direction. *)
 
+type flight_config = {
+  ring_capacity : int;  (** events each port's ring retains *)
+  trigger_window : int;  (** enqueue attempts per sliding window *)
+  drop_threshold : float;  (** drop fraction in the window that fires *)
+  trigger_cooldown : int;  (** attempts suppressed after a fire *)
+}
+(** Flight-recorder configuration: one always-on
+    {!Engine.Recorder} ring per port, paired with a drop-rate
+    {!Engine.Recorder.Trigger} with hysteresis. *)
+
+val default_flight : flight_config
+(** [{ring_capacity = 512; trigger_window = 128; drop_threshold = 0.5;
+     trigger_cooldown = 128}]. *)
+
 val create :
   sim:Engine.Sim.t ->
   topo:Topology.t ->
@@ -35,12 +49,27 @@ val create :
   ?on_dequeue:(Sched.Packet.t -> unit) ->
   ?on_drop:(Sched.Packet.t -> unit) ->
   ?telemetry:Engine.Telemetry.t ->
+  ?profiler:Engine.Span.t ->
+  ?flight:flight_config ->
+  ?on_anomaly:(link_id:int -> Engine.Recorder.t -> unit) ->
   deliver:(Sched.Packet.t -> unit) ->
   unit ->
   t
 (** [deliver] fires when a packet reaches its destination host.
     [shaper_of] (default: none anywhere) attaches token-bucket shapers to
     selected ports.
+
+    [profiler] (default: off) wraps fabric construction in a ["net.build"]
+    span.  The per-packet path is deliberately not spanned — the flight
+    recorder is the packet-granularity layer.
+
+    [flight] (default: off) arms a per-port flight recorder: every
+    preprocess / enqueue / drop / evict / dequeue is appended to the
+    port's ring (unsampled, unconditionally — the ring is the cheap
+    always-on layer), and each enqueue attempt feeds the port's drop-rate
+    trigger.  When a trigger fires, [on_anomaly] (default: nothing) runs
+    with the port's recorder — the hook dumps the last-N events as NDJSON
+    next to whatever reproducer the caller is writing.
 
     [telemetry] (default: off) instruments every port: per-port and
     per-tenant enqueue/dequeue/drop counters ([net.port.<id>.*],
@@ -56,6 +85,12 @@ val create :
 val inject : t -> Sched.Packet.t -> unit
 (** A host hands a packet to its NIC: the packet is routed onto the host's
     uplink queue.  The packet's [src] must be a host. *)
+
+val port_recorder : t -> link_id:int -> Engine.Recorder.t option
+(** The port's flight-recorder ring ([None] when [flight] is off). *)
+
+val anomalies_fired : t -> int
+(** Drop-rate anomalies fired across all ports so far. *)
 
 val total_drops : t -> int
 (** Packets dropped across all ports so far. *)

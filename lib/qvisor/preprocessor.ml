@@ -25,7 +25,8 @@ let table_of_plan (plan : Synthesizer.plan) =
     plan.Synthesizer.assignments;
   table
 
-let of_plan ?telemetry plan =
+let of_plan ?(profiler = Engine.Span.disabled) ?telemetry plan =
+  Engine.Span.with_ profiler ~name:"preprocessor.compile" @@ fun () ->
   let ins =
     match telemetry with
     | Some tel when Engine.Telemetry.is_enabled tel ->

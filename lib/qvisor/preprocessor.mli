@@ -9,8 +9,13 @@
 
 type t
 
-val of_plan : ?telemetry:Engine.Telemetry.t -> Synthesizer.plan -> t
-(** Compile a plan into a line-rate lookup table.
+val of_plan :
+  ?profiler:Engine.Span.t -> ?telemetry:Engine.Telemetry.t ->
+  Synthesizer.plan -> t
+(** Compile a plan into a line-rate lookup table.  [profiler] (default:
+    off) wraps the compilation in a ["preprocessor.compile"] span (the
+    per-packet path is deliberately not spanned — it is the hot path the
+    flight recorder covers instead).
 
     With [telemetry], every processed packet also feeds three metrics:
     [preprocessor.table_hits] / [preprocessor.fallback_hits] count

@@ -99,7 +99,9 @@ let rec allocate config tenants_by_name node band =
     let bands = split_strict band counts in
     List.concat (List.map2 (allocate config tenants_by_name) tiers bands)
 
-let synthesize ?(config = default_config) ~tenants ~policy () =
+let synthesize ?(profiler = Engine.Span.disabled) ?(config = default_config)
+    ~tenants ~policy () =
+  Engine.Span.with_ profiler ~name:"synthesizer.synthesize" @@ fun () ->
   let ( let* ) r f = Result.bind r f in
   let* () =
     if config.rank_lo > config.rank_hi then Error (Error.Config "empty rank space")
@@ -145,8 +147,8 @@ let synthesize ?(config = default_config) ~tenants ~policy () =
       fallback;
     }
 
-let synthesize_exn ?config ~tenants ~policy () =
-  match synthesize ?config ~tenants ~policy () with
+let synthesize_exn ?profiler ?config ~tenants ~policy () =
+  match synthesize ?profiler ?config ~tenants ~policy () with
   | Ok plan -> plan
   | Error e -> invalid_arg ("Synthesizer.synthesize: " ^ Error.to_string e)
 

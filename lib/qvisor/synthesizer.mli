@@ -54,15 +54,18 @@ val default_config : config
     a 16-bit rank space, as on programmable hardware. *)
 
 val synthesize :
+  ?profiler:Engine.Span.t ->
   ?config:config -> tenants:Tenant.t list -> policy:Policy.t -> unit ->
   (plan, Error.t) result
-(** Build the joint scheduling function.  Fails with
+(** Build the joint scheduling function.  [profiler] (default: off) wraps
+    the synthesis in a ["synthesizer.synthesize"] span.  Fails with
     {!Error.Unknown_tenant} when the policy names a tenant that was not
     declared, {!Error.Synthesis} when the policy misses or repeats a
     tenant, tenant ids collide, or the rank space is too narrow for the
     tenant count, and {!Error.Config} for an invalid [config]. *)
 
 val synthesize_exn :
+  ?profiler:Engine.Span.t ->
   ?config:config -> tenants:Tenant.t list -> policy:Policy.t -> unit -> plan
 (** @raise Invalid_argument on any synthesis error. *)
 
