@@ -182,16 +182,51 @@ let setup_flight dir =
             "flight recorder: %d anomalies across %d link(s), dumps in %s@."
             !fired (Hashtbl.length dumped) dir )
 
-(* Returns the registry to thread through the run (None when both flags
-   are off) and a [finish] closure that flushes the trace and prints the
-   snapshot. *)
-let setup_telemetry ~telemetry ~trace ~trace_sample ~seed =
+(* --------------------------------------------------------------- *)
+(* Prometheus exposition / SLO flags (fig4 / single / churn)       *)
+(* --------------------------------------------------------------- *)
+
+(* The Fig. 4 harness always runs tenant 0 = pfabric, tenant 1 = edf;
+   the map turns [net.tenant.0.*] into [{tenant="pfabric"}] labels. *)
+let fig4_tenant_names = [ (0, "pfabric"); (1, "edf") ]
+
+let metrics_out_arg =
+  let doc =
+    "Write the metric registry (plus the SLO burn-rate and health gauges \
+     when --slo is on) to $(docv) in Prometheus text exposition format; \
+     implies a registry even without --telemetry.  Validate or inspect the \
+     file with `qvisor-cli metrics --validate'."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let write_metrics path tel =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc
+          (Engine.Exposition.render ~tenant_names:fig4_tenant_names tel))
+  with Sys_error e ->
+    Format.eprintf "cannot write metrics: %s@." e;
+    exit 1
+
+let finish_metrics metrics_out tel =
+  match (metrics_out, tel) with
+  | Some path, Some tel ->
+    write_metrics path tel;
+    progress "wrote %s@." path
+  | _ -> ()
+
+(* Returns the registry to thread through the run (None when all three
+   knobs are off) and a [finish] closure that flushes the trace and
+   prints the snapshot.  [force] creates a registry even when neither
+   --telemetry nor --trace asked for one (the --metrics-out case). *)
+let setup_telemetry ?(force = false) ~telemetry ~trace ~trace_sample ~seed () =
   if trace_sample < 0. || trace_sample > 1. then begin
     Format.eprintf "--trace-sample must be within [0,1] (got %g)@."
       trace_sample;
     exit 1
   end;
-  if (not telemetry) && trace = None then (None, fun () -> ())
+  if (not telemetry) && trace = None && not force then (None, fun () -> ())
   else begin
     let tel = Engine.Telemetry.create () in
     let close_trace =
@@ -223,14 +258,14 @@ let setup_telemetry ~telemetry ~trace ~trace_sample ~seed =
    job's derived stream); after the join everything is merged in job
    order, so the snapshot and the trace file do not depend on the worker
    count. *)
-let setup_job_telemetry ~telemetry ~trace ~trace_sample
+let setup_job_telemetry ~telemetry ~trace ~trace_sample ~metrics_out
     (grid : Experiments.Fig4.job list) =
   if trace_sample < 0. || trace_sample > 1. then begin
     Format.eprintf "--trace-sample must be within [0,1] (got %g)@."
       trace_sample;
     exit 1
   end;
-  if (not telemetry) && trace = None then
+  if (not telemetry) && trace = None && metrics_out = None then
     ((fun (_ : Experiments.Fig4.job) -> Engine.Telemetry.disabled), fun () -> ())
   else begin
     let slots =
@@ -289,6 +324,7 @@ let setup_job_telemetry ~telemetry ~trace ~trace_sample
       let snap =
         if telemetry then Some (Engine.Telemetry.snapshot merged) else None
       in
+      finish_metrics metrics_out (Some merged);
       (match final with
       | None -> ()
       | Some (path, oc) ->
@@ -304,7 +340,7 @@ let setup_job_telemetry ~telemetry ~trace ~trace_sample
 
 let fig4_cmd =
   let run scale seed loads csv config telemetry trace trace_sample jobs profile
-      =
+      metrics_out =
     let params = resolve_params scale config seed in
     let loads = parse_loads loads in
     let jobs = max 1 jobs in
@@ -313,7 +349,7 @@ let fig4_cmd =
         ~schemes:Experiments.Fig4.paper_schemes
     in
     let telemetry_for, finish_telemetry =
-      setup_job_telemetry ~telemetry ~trace ~trace_sample grid
+      setup_job_telemetry ~telemetry ~trace ~trace_sample ~metrics_out grid
     in
     (* Per-job span profilers, merged in job order after the join — the
        merged span structure is identical for any --jobs value. *)
@@ -356,7 +392,8 @@ let fig4_cmd =
   Cmd.v (Cmd.info "fig4" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ loads_arg $ csv_arg $ config_arg
-      $ telemetry_arg $ trace_arg $ trace_sample_arg $ jobs_arg $ profile_arg)
+      $ telemetry_arg $ trace_arg $ trace_sample_arg $ jobs_arg $ profile_arg
+      $ metrics_out_arg)
 
 let ablation_quant_cmd =
   let run scale seed jobs =
@@ -458,10 +495,12 @@ let ablation_backend_cmd =
     Term.(const run $ scale_arg $ seed_arg $ jobs_arg)
 
 let churn_cmd =
-  let run seed telemetry trace trace_sample jobs profile =
+  let run seed telemetry trace trace_sample jobs profile metrics_out =
     let params = { Experiments.Churn.default with Experiments.Churn.seed } in
     let tel, finish_telemetry =
-      setup_telemetry ~telemetry ~trace ~trace_sample ~seed
+      setup_telemetry
+        ~force:(metrics_out <> None)
+        ~telemetry ~trace ~trace_sample ~seed ()
     in
     (* Telemetry instruments only the qvisor run (as before), so the
        single registry is touched by exactly one worker. *)
@@ -487,6 +526,7 @@ let churn_cmd =
       Format.printf "%a@.@.%a@." Experiments.Churn.print [ naive; qvisor ]
         Experiments.Churn.print_activity qvisor;
       finish_telemetry ();
+      finish_metrics metrics_out tel;
       Engine.Span.merge_into ~into:profiler ~tid:1 prof_naive;
       Engine.Span.merge_into ~into:profiler ~tid:2 prof_qvisor;
       write_profile profile profiler
@@ -496,7 +536,7 @@ let churn_cmd =
   Cmd.v (Cmd.info "churn" ~doc)
     Term.(
       const run $ seed_arg $ telemetry_arg $ trace_arg $ trace_sample_arg
-      $ jobs_arg $ profile_arg)
+      $ jobs_arg $ profile_arg $ metrics_out_arg)
 
 let single_cmd =
   let scheme_arg =
@@ -510,10 +550,61 @@ let single_cmd =
     let doc = "pFabric tenant load." in
     Arg.(value & opt float 0.5 & info [ "load" ] ~docv:"LOAD" ~doc)
   in
+  let slo_arg =
+    let doc =
+      "Derive per-tenant SLOs from the synthesized plan (worst-case delay \
+       bound, drop budget, rank-error budget), audit them online against \
+       the run, print the per-tenant verdict table, and exit 4 when any \
+       tenant ends the run Violating.  QVISOR pre-processor schemes only."
+    in
+    Arg.(value & flag & info [ "slo" ] ~doc)
+  in
+  let inject_arg =
+    let fault_conv =
+      let parse s =
+        match Conformance.Fault.of_string s with
+        | Ok f -> Ok f
+        | Error e -> Error (`Msg e)
+      in
+      let print ppf f =
+        Format.pp_print_string ppf (Conformance.Fault.to_string f)
+      in
+      Arg.conv (parse, print)
+    in
+    let doc =
+      "Replace every port's queue discipline with a deliberately broken one \
+       (lifo-ties | drop-newest), whatever the scheme chose — the negative \
+       control for the --slo gate."
+    in
+    Arg.(
+      value & opt (some fault_conv) None & info [ "inject" ] ~docv:"FAULT" ~doc)
+  in
+  let alerts_arg =
+    let doc =
+      "With --slo, write the health machine's NDJSON alert stream (one line \
+       per per-tenant state transition) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "alerts" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_interval_arg =
+    let doc =
+      "With --slo and --metrics-out, rewrite the metrics file every $(docv) \
+       simulated seconds during the run (periodic exposition for a scraper \
+       tailing the file), not just at the end."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc)
+  in
   let run scale seed scheme load config telemetry trace trace_sample profile
-      flight =
+      flight slo inject alerts metrics_out metrics_interval =
     let params =
-      { (resolve_params scale config seed) with Experiments.Fig4.load }
+      {
+        (resolve_params scale config seed) with
+        Experiments.Fig4.load;
+        inject_qdisc = Option.map Conformance.Fault.qdisc inject;
+      }
     in
     let scheme =
       match scheme with
@@ -522,15 +613,44 @@ let single_cmd =
       | "pifo-ideal" -> Experiments.Fig4.Pifo_pfabric_only
       | policy -> Experiments.Fig4.Qvisor_policy policy
     in
+    (match metrics_interval with
+    | Some iv when iv <= 0. ->
+      Format.eprintf "--metrics-interval must be positive (got %g)@." iv;
+      exit 1
+    | Some _ when (not slo) || metrics_out = None ->
+      Format.eprintf "--metrics-interval needs --slo and --metrics-out@.";
+      exit 1
+    | _ -> ());
     let tel, finish_telemetry =
-      setup_telemetry ~telemetry ~trace ~trace_sample ~seed
+      setup_telemetry
+        ~force:(metrics_out <> None)
+        ~telemetry ~trace ~trace_sample ~seed ()
+    in
+    let alerts_oc =
+      Option.map
+        (fun path ->
+          try open_out path
+          with Sys_error e ->
+            Format.eprintf "cannot write alerts: %s@." e;
+            exit 1)
+        alerts
+    in
+    (* Periodic exposition: rewritten whole each time, so a scraper always
+       sees a complete, parseable document. *)
+    let last_metrics = ref neg_infinity in
+    let on_tick now =
+      match (metrics_interval, metrics_out, tel) with
+      | Some iv, Some path, Some tel when now -. !last_metrics >= iv ->
+        last_metrics := now;
+        write_metrics path tel
+      | _ -> ()
     in
     let profiler = make_profiler profile in
     let flight_config, on_anomaly, finish_flight = setup_flight flight in
     let r =
       or_die
         (Experiments.Fig4.run ?telemetry:tel ~profiler ?flight:flight_config
-           ?on_anomaly params scheme)
+           ?on_anomaly ~slo ?alerts:alerts_oc ~on_tick params scheme)
     in
     Format.printf
       "@[<v>%s @ load %.2f@,small mean %.3f ms (p99 %.3f)@,large mean %.3f ms \
@@ -546,6 +666,22 @@ let single_cmd =
       r.Experiments.Fig4.events_fired r.Experiments.Fig4.wall_seconds
       (float_of_int r.Experiments.Fig4.events_fired
       /. r.Experiments.Fig4.wall_seconds);
+    (match r.Experiments.Fig4.slo with
+    | None -> ()
+    | Some report ->
+      Format.printf "@.@[<v>SLO objectives (derived from the plan):@,";
+      List.iter
+        (fun o -> Format.printf "  %a@," Qvisor.Slo.pp_objective o)
+        report.Experiments.Fig4.objectives;
+      Format.printf "@]@.@[<v>SLO verdicts (%d health transition(s)):@,"
+        report.Experiments.Fig4.health_alerts;
+      List.iter
+        (fun (tn, state, st) ->
+          Format.printf "  %-10s %-10s %a@," tn.Qvisor.Tenant.name
+            (Engine.Health.state_to_string state)
+            Qvisor.Slo.pp_status st)
+        report.Experiments.Fig4.verdicts;
+      Format.printf "@]@.");
     (* A compact percentile summary of the port histograms (the live
        registry's P^2 sketches, via Telemetry.Histogram.quantile). *)
     (match tel with
@@ -564,14 +700,33 @@ let single_cmd =
     | _ -> ());
     finish_telemetry ();
     finish_flight ();
-    write_profile profile profiler
+    (match (alerts_oc, alerts) with
+    | Some oc, Some path ->
+      close_out oc;
+      progress "wrote %s@." path
+    | _ -> ());
+    finish_metrics metrics_out tel;
+    write_profile profile profiler;
+    match r.Experiments.Fig4.slo with
+    | Some report
+      when List.exists
+             (fun (_, state, _) -> state = Engine.Health.Violating)
+             report.Experiments.Fig4.verdicts ->
+      progress "SLO gate: FAIL (a tenant ended the run violating)@.";
+      exit 4
+    | Some _ -> progress "SLO gate: pass@."
+    | None -> ()
   in
-  let doc = "Run a single (scheme, load) point." in
+  let doc =
+    "Run a single (scheme, load) point, optionally auditing derived \
+     per-tenant SLOs (--slo exits 4 on a violating tenant)."
+  in
   Cmd.v (Cmd.info "single" ~doc)
     Term.(
       const run $ scale_arg $ seed_arg $ scheme_arg $ load_arg $ config_arg
       $ telemetry_arg $ trace_arg $ trace_sample_arg $ profile_arg
-      $ flight_arg)
+      $ flight_arg $ slo_arg $ inject_arg $ alerts_arg $ metrics_out_arg
+      $ metrics_interval_arg)
 
 let validate_cmd =
   let run seed =

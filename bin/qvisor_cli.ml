@@ -522,6 +522,16 @@ let conformance_cmd =
       & opt string "conformance-repro.json"
       & info [ "repro" ] ~docv:"FILE" ~doc)
   in
+  let metrics_out_arg =
+    let doc =
+      "Write the fuzz run's telemetry (cases, events, divergences, \
+       per-backend inversion counters) to $(docv) as Prometheus text \
+       exposition — written even when the run fails, so a CI scrape sees \
+       the divergence counters."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
   let backends_for inject =
     Conformance.Differential.standard_backends ()
     @
@@ -617,12 +627,24 @@ let conformance_cmd =
          with Sys_error e ->
            Format.eprintf "cannot write flight dump: %s@." e))
   in
-  let run_fuzz backends seed cases jobs repro profile =
+  let run_fuzz backends seed cases jobs repro profile metrics_out =
     let profiler = make_profiler profile in
+    let tel = Option.map (fun _ -> Engine.Telemetry.create ()) metrics_out in
     let res =
-      Conformance.Differential.run_cases ~jobs ~profiler ~backends ~seed
-        ~cases ()
+      Conformance.Differential.run_cases ~jobs ~profiler ?telemetry:tel
+        ~backends ~seed ~cases ()
     in
+    (* Before any failure exit: CI scrapes the divergence counters. *)
+    (match (metrics_out, tel) with
+    | Some path, Some tel ->
+      (try
+         Out_channel.with_open_text path (fun oc ->
+             output_string oc (Engine.Exposition.render tel))
+       with Sys_error e ->
+         Format.eprintf "cannot write metrics: %s@." e;
+         exit 1);
+      Format.eprintf "wrote %s@." path
+    | _ -> ());
     Format.printf "%a@." Conformance.Differential.pp_run res;
     List.iter
       (fun (i, e) -> Format.eprintf "case %d: synthesis error: %s@." i e)
@@ -664,7 +686,7 @@ let conformance_cmd =
       write_profile profile profiler;
       exit 1
   in
-  let run seed cases jobs replay inject repro profile =
+  let run seed cases jobs replay inject repro profile metrics_out =
     if cases <= 0 then begin
       Format.eprintf "--cases must be positive@.";
       exit 1
@@ -672,7 +694,7 @@ let conformance_cmd =
     let backends = backends_for inject in
     match replay with
     | Some path -> run_replay backends path
-    | None -> run_fuzz backends seed cases (max 1 jobs) repro profile
+    | None -> run_fuzz backends seed cases (max 1 jobs) repro profile metrics_out
   in
   let doc =
     "Differentially verify scheduler backends against an ideal-PIFO oracle \
@@ -687,7 +709,92 @@ let conformance_cmd =
   Cmd.v (Cmd.info "conformance" ~doc)
     Term.(
       const run $ seed_arg $ cases_arg $ jobs_arg $ replay_arg $ inject_arg
-      $ repro_arg $ profile_arg)
+      $ repro_arg $ profile_arg $ metrics_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* metrics: Prometheus text exposition of a control-plane dry run     *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let validate_arg =
+    let doc =
+      "Parse $(docv) with the strict exposition reader (every sample must \
+       belong to a declared $(b,# TYPE) family) and report family/sample \
+       counts instead of running anything.  Exits 1 with the offending \
+       line number on the first malformed line."
+    in
+    Arg.(value & opt (some string) None & info [ "validate" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the exposition text to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run_validate path =
+    let contents =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error e ->
+        Format.eprintf "cannot read %s: %s@." path e;
+        exit 1
+    in
+    match Engine.Exposition.parse contents with
+    | Error e ->
+      Format.eprintf "%s: %s@." path e;
+      exit 1
+    | Ok lines ->
+      let count p = List.length (List.filter p lines) in
+      Format.printf "%s: ok (%d families, %d samples)@." path
+        (count (function Engine.Exposition.Type _ -> true | _ -> false))
+        (count (function Engine.Exposition.Sample _ -> true | _ -> false))
+  in
+  let run tenant_specs policy_str levels spec_file jobs validate out =
+    match validate with
+    | Some path -> run_validate path
+    | None -> (
+      let tenants, policy = resolve_spec spec_file tenant_specs policy_str in
+      let config = { Qvisor.Synthesizer.default_config with levels } in
+      match Qvisor.Synthesizer.synthesize ~config ~tenants ~policy () with
+      | Error e ->
+        Format.eprintf "synthesis error: %s@." (Qvisor.Error.to_string e);
+        exit 1
+      | Ok plan ->
+        (* Same partitioned dry run as `plan --telemetry`, rendered as
+           exposition text instead of a JSON snapshot. *)
+        let results =
+          Engine.Parallel.map ~jobs:(max 1 jobs)
+            (run_dry_run_part ~plan ~trace:None ~trace_sample:1.0
+               ~profiled:false)
+            (dry_run_parts tenants)
+        in
+        let merged = Engine.Telemetry.create () in
+        List.iter
+          (fun (tel, _, _) -> Engine.Telemetry.merge_into ~into:merged tel)
+          results;
+        let text =
+          Engine.Exposition.render
+            ~tenant_names:
+              (List.map
+                 (fun t -> (t.Qvisor.Tenant.id, t.Qvisor.Tenant.name))
+                 tenants)
+            merged
+        in
+        (match out with
+        | None -> print_string text
+        | Some path ->
+          (try Out_channel.with_open_text path (fun oc -> output_string oc text)
+           with Sys_error e ->
+             Format.eprintf "cannot write metrics: %s@." e;
+             exit 1);
+          Format.eprintf "wrote %s@." path))
+  in
+  let doc =
+    "Render a pre-processor dry run as Prometheus text exposition (or, with \
+     $(b,--validate), strictly parse an existing exposition file such as an \
+     experiment runner's --metrics-out output)."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const run $ tenants_arg $ policy_arg $ levels_arg $ spec_file_arg
+      $ jobs_arg $ validate_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: packet-lineage forensics over NDJSON event files            *)
@@ -746,4 +853,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "qvisor-cli" ~doc)
-          [ plan_cmd; fit_cmd; check_cmd; conformance_cmd; trace_cmd ]))
+          [ plan_cmd; fit_cmd; check_cmd; conformance_cmd; metrics_cmd; trace_cmd ]))

@@ -1,0 +1,106 @@
+type state = Healthy | Degraded | Violating
+
+type signal = Pass | Warn | Breach
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Violating -> "violating"
+
+let signal_to_string = function
+  | Pass -> "pass"
+  | Warn -> "warn"
+  | Breach -> "breach"
+
+let pp_state ppf s = Format.pp_print_string ppf (state_to_string s)
+
+type config = { degraded_strikes : int; violating_strikes : int }
+
+let default_config = { degraded_strikes = 2; violating_strikes = 4 }
+
+type subject = {
+  name : string;
+  mutable strikes : int;
+  mutable current : state;
+}
+
+type t = {
+  config : config;
+  alerts : out_channel option;
+  subjects : (int, subject) Hashtbl.t;
+  mutable transitions : int;
+}
+
+let create ?(config = default_config) ?alerts () =
+  if config.degraded_strikes <= 0 then
+    invalid_arg "Health.create: degraded_strikes <= 0";
+  if config.violating_strikes <= config.degraded_strikes then
+    invalid_arg "Health.create: violating_strikes <= degraded_strikes";
+  { config; alerts; subjects = Hashtbl.create 8; transitions = 0 }
+
+let watch t ~id ~name =
+  Hashtbl.replace t.subjects id { name; strikes = 0; current = Healthy }
+
+let state_of_strikes t strikes =
+  if strikes >= t.config.violating_strikes then Violating
+  else if strikes >= t.config.degraded_strikes then Degraded
+  else Healthy
+
+let emit_alert t ~id ~time ~source ~detail subject ~from ~to_ =
+  t.transitions <- t.transitions + 1;
+  match t.alerts with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Json.Obj
+        [
+          ("t", Json.Number time);
+          ("id", Json.Number (float_of_int id));
+          ("name", Json.String subject.name);
+          ("from", Json.String (state_to_string from));
+          ("to", Json.String (state_to_string to_));
+          ("source", Json.String source);
+          ("detail", Json.String detail);
+        ]
+    in
+    output_string oc (Json.to_string line);
+    output_char oc '\n';
+    (* Flushed per transition: alerts are rare by construction, and a
+       crashing run must still leave its stream behind. *)
+    flush oc
+
+let observe t ~id ~time ?(source = "health") ?(detail = "") signal =
+  match Hashtbl.find_opt t.subjects id with
+  | None -> ()
+  | Some s ->
+    (match signal with
+    | Pass -> s.strikes <- max 0 (s.strikes - 1)
+    | Warn -> s.strikes <- s.strikes + 1
+    | Breach -> s.strikes <- s.strikes + 2);
+    let next = state_of_strikes t s.strikes in
+    if next <> s.current then begin
+      let from = s.current in
+      s.current <- next;
+      emit_alert t ~id ~time ~source ~detail s ~from ~to_:next
+    end
+
+let state t ~id =
+  match Hashtbl.find_opt t.subjects id with
+  | None -> Healthy
+  | Some s -> s.current
+
+let strikes t ~id =
+  match Hashtbl.find_opt t.subjects id with None -> 0 | Some s -> s.strikes
+
+let states t =
+  Hashtbl.fold (fun id s acc -> (id, s.name, s.current) :: acc) t.subjects []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let severity = function Healthy -> 0 | Degraded -> 1 | Violating -> 2
+
+let worst t =
+  Hashtbl.fold
+    (fun _ s acc -> if severity s.current > severity acc then s.current else acc)
+    t.subjects Healthy
+
+let alerts_emitted t = t.transitions

@@ -42,6 +42,8 @@ module Histogram = struct
 
   let mean t = Stats.mean t.stats
 
+  let sum t = Stats.sum t.stats
+
   let quantile t q =
     let sketch =
       if q = 0.5 then t.p50
@@ -228,6 +230,23 @@ let merge_into ~into src =
       d.written <- d.written + s.written
     | _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exported_counters t =
+  List.map (fun (name, c) -> (name, Counter.value c)) (sorted_bindings t.counters)
+
+let exported_gauges t =
+  List.map (fun (name, g) -> (name, Gauge.value g)) (sorted_bindings t.gauges)
+
+let exported_histograms t = sorted_bindings t.histograms
+
+let exported_series t =
+  List.map
+    (fun (name, (_, ts)) -> (name, Timeseries.total ts))
+    (sorted_bindings t.series_tbl)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot                                                           *)

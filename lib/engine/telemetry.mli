@@ -55,6 +55,10 @@ module Histogram : sig
       [0.99].  [nan] when empty, exact below five observations
       ({!P2_quantile.estimate}).
       @raise Invalid_argument for any other [q]. *)
+
+  val sum : t -> float
+  (** Sum of the observations ([0.] when empty) — with {!count} this is
+      what a Prometheus summary exposes as [_sum]/[_count]. *)
 end
 
 module Series : sig
@@ -142,6 +146,18 @@ val merge_into : into:t -> t -> unit
     either registry is disabled.  [src] is left untouched. *)
 
 (** {1 Export} *)
+
+val exported_counters : t -> (string * int) list
+(** Every interned counter as [(name, value)], sorted by name; empty for
+    {!disabled}.  The read side used by {!Exposition}. *)
+
+val exported_gauges : t -> (string * float) list
+
+val exported_histograms : t -> (string * Histogram.t) list
+(** Live handles, not copies: read them, do not observe into them. *)
+
+val exported_series : t -> (string * float) list
+(** [(name, total)] per interned time series. *)
 
 val snapshot : t -> Json.t
 (** The whole registry as one JSON object:

@@ -43,6 +43,7 @@ type params = {
   levels : int option;
   backend : Qvisor.Deploy.backend option;
   tree_backend : bool;
+  inject_qdisc : (capacity_pkts:int -> Sched.Qdisc.t) option;
 }
 
 let quick =
@@ -69,6 +70,7 @@ let quick =
     levels = None;
     backend = None;
     tree_backend = false;
+    inject_qdisc = None;
   }
 
 let default =
@@ -95,6 +97,12 @@ let paper_scale =
     drain = 1.0;
   }
 
+type slo_report = {
+  objectives : Qvisor.Slo.objective list;
+  verdicts : (Qvisor.Tenant.t * Engine.Health.state * Qvisor.Slo.status) list;
+  health_alerts : int;
+}
+
 type result = {
   scheme : string;
   load : float;
@@ -109,6 +117,7 @@ type result = {
   cbr_deadline_fraction : float;
   events_fired : int;
   wall_seconds : float;
+  slo : slo_report option;
 }
 
 let pfabric_tenant_id = 0
@@ -131,8 +140,38 @@ let qvisor_tenants params =
       ~id:edf_tenant_id ~name:"edf" ();
   ]
 
+(* Arrival envelopes for the worst-case analysis.  The burst term is the
+   physically realizable worst case at a port: a full queue of MTU
+   packets bounds any packet's backlog regardless of the Poisson
+   arrivals, so bounds derived from it hold empirically.  Rates are the
+   offered loads in bytes/s; the link rate used is the access rate — the
+   slowest (binding) link of the fabric. *)
+let slo_envelopes params =
+  let sigma = float_of_int (params.queue_capacity_pkts * 1518) in
+  [
+    ( pfabric_tenant_id,
+      Qvisor.Latency.envelope ~sigma
+        ~rho:(params.load *. params.access_rate /. 8.) );
+    (edf_tenant_id, Qvisor.Latency.envelope ~sigma ~rho:(params.cbr_rate /. 8.));
+  ]
+
+(* Everything the online audit needs, built only for QVISOR
+   pre-processor schemes with [~slo:true]. *)
+type slo_runtime = {
+  auditor : Qvisor.Slo.t;
+  health : Engine.Health.t;
+  guard : Qvisor.Guard.t;
+}
+
+let health_severity = function
+  | Engine.Health.Healthy -> 0.
+  | Engine.Health.Degraded -> 1.
+  | Engine.Health.Violating -> 2.
+
 let run ?(telemetry = Engine.Telemetry.disabled)
-    ?(profiler = Engine.Span.disabled) ?flight ?on_anomaly params scheme =
+    ?(profiler = Engine.Span.disabled) ?flight ?on_anomaly ?(slo = false)
+    ?alerts ?(slo_interval = 0.01) ?(on_tick = fun (_ : float) -> ()) params
+    scheme =
   Engine.Span.with_ profiler ~name:"fig4.run" @@ fun () ->
   let ( let* ) = Result.bind in
   let num_hosts = params.leaves * params.hosts_per_leaf in
@@ -148,12 +187,27 @@ let run ?(telemetry = Engine.Telemetry.disabled)
   let sim = Engine.Sim.create ~profiler () in
   let rng = Engine.Rng.create ~seed:params.seed in
   let transport = Netsim.Transport.create ~sim () in
-  let* preprocess, make_qdisc =
+  let* preprocess, make_qdisc, slo_rt =
     let fifo _ = Sched.Fifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
     let pifo _ = Sched.Pifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
+    let* () =
+      if slo && slo_interval <= 0. then
+        Error (Qvisor.Error.Config "slo_interval must be positive")
+      else Ok ()
+    in
+    let* () =
+      match scheme with
+      | Qvisor_policy _ when not params.tree_backend -> Ok ()
+      | _ when slo ->
+        Error
+          (Qvisor.Error.Config
+             "slo auditing needs a QVISOR pre-processor scheme (it derives \
+              objectives from the synthesized plan)")
+      | _ -> Ok ()
+    in
     match scheme with
-    | Fifo_both -> Ok (None, fifo)
-    | Pifo_naive | Pifo_pfabric_only -> Ok (None, pifo)
+    | Fifo_both -> Ok (None, fifo, None)
+    | Pifo_naive | Pifo_pfabric_only -> Ok (None, pifo, None)
     | Qvisor_policy policy_str when params.tree_backend ->
       (* §5 alternative: compile the policy into a PIFO tree per port; raw
          ranks go straight in, no pre-processor.  Build one tree up front
@@ -170,18 +224,47 @@ let run ?(telemetry = Engine.Telemetry.disabled)
         | Ok q -> q
         | Error e -> invalid_arg ("Fig4: tree backend: " ^ Qvisor.Error.to_string e)
       in
-      Ok (None, make_tree)
+      Ok (None, make_tree, None)
     | Qvisor_policy policy_str ->
       let config =
         { Qvisor.Synthesizer.default_config with levels = params.levels }
       in
       let* policy = Qvisor.Policy.parse policy_str in
+      let tenants = qvisor_tenants params in
       let* plan =
-        Qvisor.Synthesizer.synthesize ~profiler ~config
-          ~tenants:(qvisor_tenants params)
-          ~policy ()
+        Qvisor.Synthesizer.synthesize ~profiler ~config ~tenants ~policy ()
       in
-      let pre = Qvisor.Preprocessor.of_plan ~profiler ~telemetry plan in
+      let slo_rt =
+        if not slo then None
+        else begin
+          let objectives =
+            Qvisor.Slo.derive ~plan ~envelopes:(slo_envelopes params)
+              ~link_rate:params.access_rate ()
+          in
+          let auditor = Qvisor.Slo.create ~objectives () in
+          let health = Engine.Health.create ?alerts () in
+          List.iter
+            (fun (tn : Qvisor.Tenant.t) ->
+              Engine.Health.watch health ~id:tn.Qvisor.Tenant.id
+                ~name:tn.Qvisor.Tenant.name)
+            tenants;
+          let guard =
+            Qvisor.Guard.create ~telemetry
+              ~clock:(fun () -> Engine.Sim.now sim)
+              ~tenants ()
+          in
+          Some { auditor; health; guard }
+        end
+      in
+      let on_rank_error =
+        Option.map
+          (fun rt id e -> Qvisor.Slo.on_rank_error rt.auditor ~tenant_id:id e)
+          slo_rt
+      in
+      let pre =
+        Qvisor.Preprocessor.of_plan ~profiler ~telemetry ?on_rank_error
+          ~rank_error_sample:8 plan
+      in
       let* qdisc =
         match params.backend with
         | None -> Ok pifo
@@ -191,15 +274,162 @@ let run ?(telemetry = Engine.Telemetry.disabled)
           let* _probe = Qvisor.Deploy.instantiate ~plan backend in
           Ok (fun _ -> Qvisor.Deploy.instantiate_exn ~plan backend)
       in
-      Ok (Some (Qvisor.Preprocessor.process pre), qdisc)
+      let preprocess =
+        match slo_rt with
+        | None -> Qvisor.Preprocessor.process pre
+        | Some rt -> fun p -> Qvisor.Guard.process rt.guard pre p
+      in
+      Ok (Some preprocess, qdisc, slo_rt)
+  in
+  (* Fault injection overrides the per-port scheduler wholesale — the
+     point is to watch the SLO layer catch a backend that misbehaves. *)
+  let make_qdisc =
+    match params.inject_qdisc with
+    | None -> make_qdisc
+    | Some f -> fun _ -> f ~capacity_pkts:params.queue_capacity_pkts
+  in
+  (* SLO runs arm the flight recorder by default: the drop-spike trigger
+     is one of the three fused health signals. *)
+  let flight =
+    match flight with
+    | Some _ -> flight
+    | None -> if Option.is_some slo_rt then Some Netsim.Net.default_flight else None
+  in
+  let user_anomaly =
+    Option.value on_anomaly ~default:(fun ~link_id:_ _ -> ())
+  in
+  let prev = Hashtbl.create 4 in
+  (* Per-tenant pending recorder incident, folded into the health machine
+     once per evaluation tick (not per trigger fire): the triggers can
+     re-fire every cooldown window during a sustained incident, far
+     faster than the evaluation cadence, and observing each fire would
+     swamp the hysteresis the health machine promises. *)
+  let pending_incident : (int, string * float) Hashtbl.t = Hashtbl.create 4 in
+  let on_anomaly ~link_id recorder =
+    user_anomaly ~link_id recorder;
+    match slo_rt with
+    | None -> ()
+    | Some rt ->
+      (* Attribute the port's drop spike to the tenant whose drop rate
+         since the previous incident overran its own budget the most.  A
+         spike the tenant's objective absorbs (a strictly-lower tier
+         being evicted by design of >>) is the policy working — only an
+         over-budget incident counts against health. *)
+      let worst = ref (-1, 0, 0.) in
+      List.iter
+        (fun (st : Qvisor.Slo.status) ->
+          let id = st.Qvisor.Slo.objective.Qvisor.Slo.tenant.Qvisor.Tenant.id in
+          let pd, pa =
+            Option.value (Hashtbl.find_opt prev id) ~default:(0, 0)
+          in
+          let ddrops = st.Qvisor.Slo.drops - pd in
+          let dattempts = st.Qvisor.Slo.attempts - pa in
+          Hashtbl.replace prev id
+            (st.Qvisor.Slo.drops, st.Qvisor.Slo.attempts);
+          let rate = float_of_int ddrops /. float_of_int (max 1 dattempts) in
+          let over = rate /. st.Qvisor.Slo.objective.Qvisor.Slo.drop_budget in
+          let _, _, worst_over = !worst in
+          if ddrops > 0 && over > worst_over then worst := (id, ddrops, over))
+        (Qvisor.Slo.statuses rt.auditor);
+      let id, ddrops, over = !worst in
+      if over > 1. then
+        let worse =
+          match Hashtbl.find_opt pending_incident id with
+          | Some (_, prev_over) -> over > prev_over
+          | None -> true
+        in
+        if worse then
+          Hashtbl.replace pending_incident id
+            ( Printf.sprintf
+                "port %d drop spike (+%d tenant drops, %.1fx over budget)"
+                link_id ddrops over,
+              over )
   in
   let net =
-    Netsim.Net.create ~sim ~topo ~routing ~make_qdisc ?preprocess ~telemetry
-      ~profiler ?flight ?on_anomaly
+    Netsim.Net.create ~sim ~topo ~routing ~make_qdisc ?preprocess
+      ?on_enqueue:
+        (Option.map (fun rt p -> Qvisor.Slo.on_enqueue rt.auditor p) slo_rt)
+      ?on_dequeue:
+        (Option.map
+           (fun rt (p : Sched.Packet.t) ->
+             Qvisor.Slo.on_delay rt.auditor ~tenant_id:p.Sched.Packet.tenant
+               (Engine.Sim.now sim -. p.Sched.Packet.enqueued_at))
+           slo_rt)
+      ?on_drop:(Option.map (fun rt p -> Qvisor.Slo.on_drop rt.auditor p) slo_rt)
+      ?on_tie_inversion:
+        (Option.map
+           (fun rt (p : Sched.Packet.t) ->
+             Qvisor.Slo.on_tie_inversion rt.auditor
+               ~tenant_id:p.Sched.Packet.tenant)
+           slo_rt)
+      ~telemetry ~profiler ?flight ~on_anomaly
       ~deliver:(Netsim.Transport.deliver transport)
       ()
   in
   Netsim.Transport.attach transport net;
+  (* Periodic SLO evaluation: fold the auditor's signal, the guard's
+     verdict, and (via [on_anomaly] above) recorder incidents into the
+     health machine; mirror the state into gauges so [--metrics-out]
+     exposes it. *)
+  let final_eval = ref (fun () -> ()) in
+  (match slo_rt with
+  | None -> ()
+  | Some rt ->
+    let until = params.duration +. params.drain in
+    let tenants = qvisor_tenants params in
+    let mirror (tn : Qvisor.Tenant.t) =
+      let id = tn.Qvisor.Tenant.id in
+      (match Qvisor.Slo.status rt.auditor ~tenant_id:id with
+      | None -> ()
+      | Some st ->
+        let set name v =
+          Engine.Telemetry.Gauge.set
+            (Engine.Telemetry.gauge telemetry
+               (Printf.sprintf "slo.tenant.%d.%s" id name))
+            v
+        in
+        set "fast_burn" st.Qvisor.Slo.fast_burn;
+        set "slow_burn" st.Qvisor.Slo.slow_burn;
+        set "budget_remaining" st.Qvisor.Slo.budget_remaining;
+        set "delay_quantile_seconds" st.Qvisor.Slo.observed_delay);
+      Engine.Telemetry.Gauge.set
+        (Engine.Telemetry.gauge telemetry
+           (Printf.sprintf "health.tenant.%d.state" id))
+        (health_severity (Engine.Health.state rt.health ~id))
+    in
+    let evaluate_all () =
+      let now = Engine.Sim.now sim in
+      List.iter
+        (fun (tn : Qvisor.Tenant.t) ->
+          let id = tn.Qvisor.Tenant.id in
+          let signal, detail = Qvisor.Slo.evaluate rt.auditor ~tenant_id:id in
+          Engine.Health.observe rt.health ~id ~time:now ~source:"slo" ~detail
+            signal;
+          (match Qvisor.Guard.verdict rt.guard ~tenant_id:id with
+          | Qvisor.Guard.Malicious _ ->
+            Engine.Health.observe rt.health ~id ~time:now ~source:"guard"
+              ~detail:"guard verdict: malicious" Engine.Health.Breach
+          | Qvisor.Guard.Suspicious _ ->
+            Engine.Health.observe rt.health ~id ~time:now ~source:"guard"
+              ~detail:"guard verdict: suspicious" Engine.Health.Warn
+          | Qvisor.Guard.Conforming -> ());
+          (match Hashtbl.find_opt pending_incident id with
+          | Some (detail, _) ->
+            Hashtbl.remove pending_incident id;
+            Engine.Health.observe rt.health ~id ~time:now ~source:"recorder"
+              ~detail Engine.Health.Warn
+          | None -> ());
+          if Engine.Telemetry.is_enabled telemetry then mirror tn)
+        tenants
+    in
+    final_eval := evaluate_all;
+    let rec tick () =
+      evaluate_all ();
+      on_tick (Engine.Sim.now sim);
+      if Engine.Sim.now sim +. slo_interval <= until then
+        ignore (Engine.Sim.schedule_after sim ~delay:slo_interval tick)
+    in
+    ignore (Engine.Sim.schedule_after sim ~delay:slo_interval tick));
   (* Tenant 0: pFabric data-mining flows (always present). *)
   let metrics = Netsim.Metrics.create () in
   let started_measured = ref 0 in
@@ -256,6 +486,25 @@ let run ?(telemetry = Engine.Telemetry.disabled)
       in
       if sent = 0 then nan else float_of_int met /. float_of_int sent
   in
+  let slo_report =
+    Option.map
+      (fun rt ->
+        !final_eval ();
+        let tenants = qvisor_tenants params in
+        {
+          objectives = Qvisor.Slo.objectives rt.auditor;
+          verdicts =
+            List.map
+              (fun (tn : Qvisor.Tenant.t) ->
+                let id = tn.Qvisor.Tenant.id in
+                ( tn,
+                  Engine.Health.state rt.health ~id,
+                  Option.get (Qvisor.Slo.status rt.auditor ~tenant_id:id) ))
+              tenants;
+          health_alerts = Engine.Health.alerts_emitted rt.health;
+        })
+      slo_rt
+  in
   Ok
     {
       scheme = scheme_name scheme;
@@ -271,6 +520,7 @@ let run ?(telemetry = Engine.Telemetry.disabled)
       cbr_deadline_fraction;
       events_fired;
       wall_seconds;
+      slo = slo_report;
     }
 
 let run_exn ?telemetry ?profiler params scheme =
@@ -299,7 +549,7 @@ let jobs_of_grid params ~loads ~schemes =
 
 let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
     ?(profiler_for = fun (_ : job) -> Engine.Span.disabled)
-    ?(on_start = fun (_ : job) -> ()) params jobs_list =
+    ?(on_start = fun (_ : job) -> ()) ?(slo = false) params jobs_list =
   let outcomes =
     Engine.Parallel.map ?jobs
       (fun job ->
@@ -307,6 +557,7 @@ let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
         run
           ~telemetry:(telemetry_for job)
           ~profiler:(profiler_for job)
+          ~slo
           { params with load = job.job_load }
           job.job_scheme)
       jobs_list
@@ -320,8 +571,9 @@ let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
   in
   collect [] outcomes
 
-let sweep ?jobs ?telemetry_for ?profiler_for ?on_start params ~loads ~schemes =
-  run_jobs ?jobs ?telemetry_for ?profiler_for ?on_start params
+let sweep ?jobs ?telemetry_for ?profiler_for ?on_start ?slo params ~loads
+    ~schemes =
+  run_jobs ?jobs ?telemetry_for ?profiler_for ?on_start ?slo params
     (jobs_of_grid params ~loads ~schemes)
 
 let paper_loads = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ]

@@ -48,6 +48,11 @@ type params = {
   tree_backend : bool;
       (** deploy QVISOR schemes as a policy-compiled PIFO tree instead of
           pre-processor + scheduler (mutually exclusive with [backend]) *)
+  inject_qdisc : (capacity_pkts:int -> Sched.Qdisc.t) option;
+      (** fault injection: when set, this factory replaces {e every}
+          port's queue discipline, whatever the scheme chose — the knob
+          the SLO gate's negative CI test turns (e.g.
+          {!Conformance.Fault.qdisc}) *)
 }
 
 val quick : params
@@ -60,6 +65,15 @@ val default : params
 val paper_scale : params
 (** The paper's exact fabric: 9 leaves x 16 hosts, 4 spines, 100 CBR
     flows at 0.5 Gb/s, 1/4 Gb/s links. *)
+
+type slo_report = {
+  objectives : Qvisor.Slo.objective list;
+      (** the derived per-tenant objectives, in tenant-id order *)
+  verdicts : (Qvisor.Tenant.t * Engine.Health.state * Qvisor.Slo.status) list;
+      (** final health state and audit status per tenant — a run {e fails}
+          its SLO gate when any tenant ends [Violating] *)
+  health_alerts : int;  (** health state transitions over the run *)
+}
 
 type result = {
   scheme : string;
@@ -79,6 +93,7 @@ type result = {
   wall_seconds : float;
       (** wall-clock seconds the engine spent draining the event queue —
           [events_fired / wall_seconds] is the engine's events/sec *)
+  slo : slo_report option;  (** present iff the run audited SLOs *)
 }
 
 val run :
@@ -86,6 +101,10 @@ val run :
   ?profiler:Engine.Span.t ->
   ?flight:Netsim.Net.flight_config ->
   ?on_anomaly:(link_id:int -> Engine.Recorder.t -> unit) ->
+  ?slo:bool ->
+  ?alerts:out_channel ->
+  ?slo_interval:float ->
+  ?on_tick:(float -> unit) ->
   params ->
   scheme ->
   (result, Qvisor.Error.t) Stdlib.result
@@ -97,6 +116,22 @@ val run :
     ["preprocessor.compile"], ["net.build"], and ["sim.run"] children.
     [flight]/[on_anomaly] arm the fabric's per-port flight recorders (see
     {!Netsim.Net.create}).
+
+    [slo] (default [false]) turns on the online SLO audit, available only
+    for QVISOR pre-processor schemes (objectives are derived from the
+    synthesized plan): the run derives per-tenant objectives
+    ({!Qvisor.Slo.derive}, with envelopes built from the queue capacity
+    and offered loads), streams per-hop enqueue/drop/delay/rank-error
+    samples into an auditor, runs the adversarial-workload {!Qvisor.Guard}
+    on the pre-processor path, arms the flight recorder (unless [flight]
+    was given), and folds all three signals into an {!Engine.Health}
+    machine evaluated every [slo_interval] simulated seconds (default
+    [0.01]).  [alerts] receives the health machine's NDJSON transition
+    stream; [on_tick] runs after each evaluation with the current
+    simulated time (the driver's periodic metrics-emission hook); the
+    final per-tenant verdicts land in [result.slo].  With [telemetry],
+    each evaluation also mirrors [slo.tenant.<id>.*] and
+    [health.tenant.<id>.state] gauges into the registry.
     Fails with the policy/synthesis/deployment error when the scheme's
     QVISOR configuration is invalid — never by raising, so a run can
     execute on a worker domain. *)
@@ -129,6 +164,7 @@ val run_jobs :
   ?telemetry_for:(job -> Engine.Telemetry.t) ->
   ?profiler_for:(job -> Engine.Span.t) ->
   ?on_start:(job -> unit) ->
+  ?slo:bool ->
   params ->
   job list ->
   (result list, Qvisor.Error.t) Stdlib.result
@@ -141,14 +177,17 @@ val run_jobs :
     each job's private span profiler (merge with {!Engine.Span.merge_into}
     in job order — the merged span {e structure} is then independent of
     the worker count); [on_start] is invoked in the {e worker} domain as a
-    job begins, so the callback must be thread-safe.  The lowest-indexed
-    failing job's error is returned. *)
+    job begins, so the callback must be thread-safe.  [slo] (default
+    [false]) audits every job's run as in {!run} — final verdicts are
+    identical for any worker count.  The lowest-indexed failing job's
+    error is returned. *)
 
 val sweep :
   ?jobs:int ->
   ?telemetry_for:(job -> Engine.Telemetry.t) ->
   ?profiler_for:(job -> Engine.Span.t) ->
   ?on_start:(job -> unit) ->
+  ?slo:bool ->
   params ->
   loads:float list ->
   schemes:scheme list ->

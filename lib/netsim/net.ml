@@ -13,6 +13,9 @@ type port = {
   mutable busy : bool;
   mutable tx_bytes : int;
   bucket : bucket option;
+  (* (rank, uid, enqueued_at, dequeued_at) of the port's previous
+     dequeue, for the equal-rank FIFO-order conformance check. *)
+  mutable last_deq : (int * int * float * float) option;
 }
 
 module Tel = Engine.Telemetry
@@ -33,6 +36,7 @@ type instruments = {
   enq_total : Tel.Counter.t;
   deq_total : Tel.Counter.t;
   drop_total : Tel.Counter.t;
+  tie_total : Tel.Counter.t;
   depth : Tel.Histogram.t; (* queue length (pkts) sampled after enqueue *)
   sojourn : Tel.Histogram.t; (* seconds from enqueue to start-of-tx *)
   by_tenant : (int, tenant_counters) Hashtbl.t;
@@ -68,8 +72,10 @@ type t = {
   ports : port array; (* indexed by link id *)
   preprocess : Sched.Packet.t -> unit;
   has_preprocess : bool;
+  on_enqueue : Sched.Packet.t -> unit;
   on_dequeue : Sched.Packet.t -> unit;
   on_drop : Sched.Packet.t -> unit;
+  on_tie_inversion : Sched.Packet.t -> unit;
   deliver : Sched.Packet.t -> unit;
   ins : instruments option;
   flight : flight option;
@@ -88,6 +94,7 @@ let make_instruments tel ~num_ports =
     enq_total = Tel.counter tel "net.enqueue";
     deq_total = Tel.counter tel "net.dequeue";
     drop_total = Tel.counter tel "net.drop";
+    tie_total = Tel.counter tel "net.tie_inversions";
     depth = Tel.histogram tel "net.queue_depth_pkts";
     sojourn = Tel.histogram tel "net.sojourn_seconds";
     by_tenant = Hashtbl.create 8;
@@ -109,7 +116,8 @@ let tenant_counters ins id =
     c
 
 let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
-    ?preprocess ?(on_dequeue = fun _ -> ()) ?(on_drop = fun _ -> ())
+    ?preprocess ?(on_enqueue = fun _ -> ()) ?(on_dequeue = fun _ -> ())
+    ?(on_drop = fun _ -> ()) ?(on_tie_inversion = fun _ -> ())
     ?telemetry ?(profiler = Engine.Span.disabled) ?flight
     ?(on_anomaly = fun ~link_id:_ _ -> ()) ~deliver () =
   Engine.Span.with_ profiler ~name:"net.build" @@ fun () ->
@@ -132,7 +140,14 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
                 wakeup_pending = false;
               }
         in
-        { link; qdisc = make_qdisc link; busy = false; tx_bytes = 0; bucket })
+        {
+          link;
+          qdisc = make_qdisc link;
+          busy = false;
+          tx_bytes = 0;
+          bucket;
+          last_deq = None;
+        })
   in
   let ins =
     match telemetry with
@@ -166,8 +181,10 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
     ports;
     preprocess = Option.value preprocess ~default:(fun _ -> ());
     has_preprocess = preprocess <> None;
+    on_enqueue;
     on_dequeue;
     on_drop;
+    on_tie_inversion;
     deliver;
     ins;
     flight;
@@ -223,6 +240,34 @@ let rec pump t port =
       | None -> ());
       port.busy <- true;
       port.tx_bytes <- port.tx_bytes + p.Sched.Packet.size;
+      (* Equal-rank FIFO-order conformance: this packet shares the
+         previous dequeue's rank, precedes it in BOTH tie orders (global
+         uid and arrival at this port), and was already queued when the
+         previous packet left.  A uid-stable PIFO never trips this (it
+         would have served the lower uid first), nor does a pure FIFO
+         (it would have served the earlier arrival first) — but a
+         serve-ties-newest-first backend does so constantly.  Demanding
+         both orders inverted keeps cross-hop reordering, where uid
+         order and port-arrival order legitimately disagree, from
+         counting against a conforming scheduler. *)
+      let deq_now = Engine.Sim.now t.sim in
+      (match port.last_deq with
+      | Some (rank, uid, enq_at, deq_at)
+        when p.Sched.Packet.rank = rank
+             && p.Sched.Packet.uid < uid
+             && p.Sched.Packet.enqueued_at < enq_at
+             && p.Sched.Packet.enqueued_at < deq_at ->
+        (match t.ins with
+        | Some ins -> Tel.Counter.incr ins.tie_total
+        | None -> ());
+        t.on_tie_inversion p
+      | _ -> ());
+      port.last_deq <-
+        Some
+          ( p.Sched.Packet.rank,
+            p.Sched.Packet.uid,
+            p.Sched.Packet.enqueued_at,
+            deq_now );
       t.on_dequeue p;
       (match t.flight with
       | None -> ()
@@ -261,6 +306,7 @@ let rec pump t port =
 
 and enqueue t port p =
   t.preprocess p;
+  t.on_enqueue p;
   p.Sched.Packet.enqueued_at <- Engine.Sim.now t.sim;
   let dropped = port.qdisc.Sched.Qdisc.enqueue p in
   List.iter t.on_drop dropped;

@@ -46,8 +46,10 @@ val create :
   make_qdisc:(Topology.link -> Sched.Qdisc.t) ->
   ?shaper_of:(Topology.link -> shaper option) ->
   ?preprocess:(Sched.Packet.t -> unit) ->
+  ?on_enqueue:(Sched.Packet.t -> unit) ->
   ?on_dequeue:(Sched.Packet.t -> unit) ->
   ?on_drop:(Sched.Packet.t -> unit) ->
+  ?on_tie_inversion:(Sched.Packet.t -> unit) ->
   ?telemetry:Engine.Telemetry.t ->
   ?profiler:Engine.Span.t ->
   ?flight:flight_config ->
@@ -58,6 +60,22 @@ val create :
 (** [deliver] fires when a packet reaches its destination host.
     [shaper_of] (default: none anywhere) attaches token-bucket shapers to
     selected ports.
+
+    [on_enqueue] (default: nothing) runs on every packet as it is offered
+    to a port's queue, after [preprocess] — per hop, so a packet crossing
+    four links fires it four times.  With [on_drop] this gives exact
+    offered-vs-lost accounting per hop: the SLO auditor's tap.
+
+    [on_tie_inversion] (default: nothing) fires when a port serves a
+    packet that shares the previously served packet's rank, precedes it
+    in both tie orders (global uid and arrival at that port), and was
+    already queued when that packet left — an equal-rank FIFO-order
+    violation.  A uid-stable PIFO never fires it (it would have served
+    the lower uid first), nor does a pure FIFO (earlier arrival first);
+    a scheduler that serves ties newest-first does so constantly, which
+    makes the hook the online conformance tap for the SLO auditor.
+    With telemetry, each firing also increments the
+    [net.tie_inversions] counter.
 
     [profiler] (default: off) wraps fabric construction in a ["net.build"]
     span.  The per-packet path is deliberately not spanned — the flight

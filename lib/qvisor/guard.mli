@@ -46,7 +46,19 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> tenants:Tenant.t list -> unit -> t
+val create :
+  ?config:config ->
+  ?telemetry:Engine.Telemetry.t ->
+  ?clock:(unit -> float) ->
+  tenants:Tenant.t list ->
+  unit ->
+  t
+(** With [telemetry], verdict {e transitions} feed the metrics layer:
+    [guard.suspicious] / [guard.malicious] count each entry into the
+    respective verdict (re-entry after recovery counts again), and a
+    ["guard"] trace event carrying the verdict and reason kinds is
+    offered to the trace sink.  [clock] (default: constant [0.])
+    timestamps those events — pass the simulator clock. *)
 
 val observe : t -> Sched.Packet.t -> unit
 (** Feed one packet: the guard reads the tenant's immutable rank

@@ -11,6 +11,12 @@ type t = {
   counts : (int, int ref) Hashtbl.t;
   mutable processed : int;
   ins : instruments option;
+  on_rank_error : (int -> float -> unit) option;
+  (* Without telemetry the exact-error recomputation exists only to feed
+     [on_rank_error]; auditing every [rank_error_sample]-th packet keeps
+     that float work off the hot path (plan distortion is systematic, so
+     a sampled maximum converges on the true one almost immediately). *)
+  rank_error_sample : int;
 }
 
 let table_of_plan (plan : Synthesizer.plan) =
@@ -25,7 +31,10 @@ let table_of_plan (plan : Synthesizer.plan) =
     plan.Synthesizer.assignments;
   table
 
-let of_plan ?(profiler = Engine.Span.disabled) ?telemetry plan =
+let of_plan ?(profiler = Engine.Span.disabled) ?telemetry ?on_rank_error
+    ?(rank_error_sample = 1) plan =
+  if rank_error_sample <= 0 then
+    invalid_arg "Preprocessor.of_plan: rank_error_sample <= 0";
   Engine.Span.with_ profiler ~name:"preprocessor.compile" @@ fun () ->
   let ins =
     match telemetry with
@@ -47,6 +56,8 @@ let of_plan ?(profiler = Engine.Span.disabled) ?telemetry plan =
     counts = Hashtbl.create 16;
     processed = 0;
     ins;
+    on_rank_error;
+    rank_error_sample;
   }
 
 let transform_for t ~tenant_id =
@@ -62,15 +73,26 @@ let process_conditioned t ~conditioning (p : Sched.Packet.t) =
   let transform = transform_for t ~tenant_id:id in
   p.Sched.Packet.rank <- Transform.apply transform conditioned;
   (match t.ins with
-  | None -> ()
   | Some ins ->
+    (* Telemetry histograms are exact: every packet is observed. *)
+    let err =
+      Float.abs
+        (float_of_int p.Sched.Packet.rank
+        -. Transform.apply_exact transform conditioned)
+    in
     let in_table = id >= 0 && id < Array.length t.table in
     Engine.Telemetry.Counter.incr
       (if in_table then ins.table_hits else ins.fallback_hits);
-    Engine.Telemetry.Histogram.observe ins.rank_error
-      (Float.abs
-         (float_of_int p.Sched.Packet.rank
-         -. Transform.apply_exact transform conditioned)));
+    Engine.Telemetry.Histogram.observe ins.rank_error err;
+    (match t.on_rank_error with None -> () | Some f -> f id err)
+  | None -> (
+    match t.on_rank_error with
+    | Some f when t.processed mod t.rank_error_sample = 0 ->
+      f id
+        (Float.abs
+           (float_of_int p.Sched.Packet.rank
+           -. Transform.apply_exact transform conditioned))
+    | Some _ | None -> ()));
   t.processed <- t.processed + 1;
   match Hashtbl.find_opt t.counts id with
   | Some r -> incr r

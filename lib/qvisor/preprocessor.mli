@@ -11,6 +11,8 @@ type t
 
 val of_plan :
   ?profiler:Engine.Span.t -> ?telemetry:Engine.Telemetry.t ->
+  ?on_rank_error:(int -> float -> unit) ->
+  ?rank_error_sample:int ->
   Synthesizer.plan -> t
 (** Compile a plan into a line-rate lookup table.  [profiler] (default:
     off) wraps the compilation in a ["preprocessor.compile"] span (the
@@ -21,7 +23,17 @@ val of_plan :
     [preprocessor.table_hits] / [preprocessor.fallback_hits] count
     match-table entry vs fallback lookups, and [preprocessor.rank_error]
     is the live distribution of [|applied - ideal|] where {e ideal} is the
-    unquantized real-valued transformation ({!Transform.apply_exact}). *)
+    unquantized real-valued transformation ({!Transform.apply_exact}).
+
+    [on_rank_error] (default: none) receives such [(tenant_id, error)]
+    samples as they are computed — the SLO auditor's tap.  With
+    [telemetry] it sees every packet (the histograms are exact anyway);
+    without, only every [rank_error_sample]-th processed packet is
+    audited (default [1], i.e. all), keeping the exact-error float
+    recomputation off the per-packet hot path.  Plan distortion is
+    systematic — every packet of a tenant shares the same transform — so
+    a sampled maximum converges on the true one almost immediately.
+    @raise Invalid_argument when [rank_error_sample <= 0]. *)
 
 val process : t -> Sched.Packet.t -> unit
 (** Compute the packet's scheduling rank from its (immutable) tenant

@@ -204,6 +204,7 @@ let sample_result =
     cbr_deadline_fraction = 0.75;
     events_fired = 1000;
     wall_seconds = 0.5;
+    slo = None;
   }
 
 let test_csv_header_matches_row_arity () =
