@@ -20,17 +20,25 @@
       oracle, and one differential replay pass per backend, reported in
       cases/sec (the cost of `qvisor-cli conformance` per case).
 
-   5. Profiling overhead — Engine.Recorder and Engine.Span micro costs
+   5. Engine benchmarks — Engine.Perf.Bench repeated-trial runs (PIFO
+      and FIFO churn, the simulator event loop, the pre-processor and
+      the flight recorder) reporting min/median/MAD for both ns/op and
+      allocated bytes/op, written to BENCH_engine.json — the baseline
+      `qvisor-cli bench diff` gates CI against.
+
+   6. Profiling overhead — Engine.Recorder and Engine.Span micro costs
       (armed vs disabled), the end-to-end events/sec cost of arming
       every port's flight recorder on a quick Fig. 4 point (< 10% by
-      design), and the span breakdown of a quick run (the source of
-      results_profile.txt).
+      design), the Engine.Perf telemetry layer's overhead on the same
+      point (also < 10%), and the span breakdown of a quick run (the
+      source of results_profile.txt).
 
    Run everything:        dune exec bench/main.exe
    Only micro-benches:    dune exec bench/main.exe -- micro
    Only figures:          dune exec bench/main.exe -- figures
    Only scaling:          dune exec bench/main.exe -- scaling
    Only conformance:      dune exec bench/main.exe -- conformance
+   Only engine benches:   dune exec bench/main.exe -- engine [--quick]
    Only profiling:        dune exec bench/main.exe -- profile *)
 
 open Bechamel
@@ -261,9 +269,11 @@ let ok = function
   | Error e -> failwith (Qvisor.Error.to_string e)
 
 (* Machine-readable snapshots next to the human results_*.txt: the
-   committed BENCH_*.json seeds are the perf trajectory across PRs. *)
+   committed BENCH_*.json seeds are the perf trajectory across PRs.
+   Atomic, so an interrupted bench run never leaves a truncated
+   baseline for `qvisor-cli bench diff` to choke on. *)
 let write_json path json =
-  Out_channel.with_open_text path (fun oc ->
+  Engine.Perf.write_atomic path (fun oc ->
       output_string oc (Engine.Json.to_string ~pretty:true json);
       output_char oc '\n');
   Format.printf "wrote %s@." path
@@ -492,6 +502,102 @@ let run_conformance () =
     [ 1; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Engine micro-benchmarks (Perf.Bench -> BENCH_engine.json)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the bechamel section (OLS point estimates, human-oriented),
+   these use Engine.Perf.Bench: repeated trials with min/median/MAD for
+   both ns/op and allocated bytes/op, serialized to the schema that
+   `qvisor-cli bench diff` gates CI on. *)
+let run_engine ~trials ~min_time_s ~out ~mode () =
+  Format.printf
+    "== engine benchmarks (%d trials, >= %g s each; %s mode) ==@." trials
+    min_time_s mode;
+  let bench name f = Engine.Perf.Bench.run ~trials ~min_time_s ~name f in
+  let mk_packet rng =
+    Sched.Packet.make
+      ~rank:(Engine.Rng.int_range rng ~lo:0 ~hi:65535)
+      ~flow:1 ~size:1500 ()
+  in
+  (* Steady-state enqueue+dequeue churn on a part-full queue: one op is
+     one enqueue plus one dequeue, so occupancy never drifts. *)
+  let churn_bench name make =
+    let q = make () in
+    let rng = Engine.Rng.create ~seed:7 in
+    for _ = 1 to 64 do
+      ignore (q.Sched.Qdisc.enqueue (mk_packet rng))
+    done;
+    bench name (fun n ->
+        for _ = 1 to n do
+          ignore (q.Sched.Qdisc.enqueue (mk_packet rng));
+          ignore (q.Sched.Qdisc.dequeue ())
+        done)
+  in
+  let bench_pifo () =
+    churn_bench "pifo/enqueue-dequeue" (fun () ->
+        Sched.Pifo_queue.create ~capacity_pkts:256 ())
+  in
+  let bench_fifo () =
+    churn_bench "fifo/enqueue-dequeue" (fun () ->
+        Sched.Fifo_queue.create ~capacity_pkts:256 ())
+  in
+  (* The simulator's schedule+fire cycle, batched so the event queue
+     stays shallow (as it does in the fabric's steady state). *)
+  let bench_event_loop () =
+    let sim = Engine.Sim.create () in
+    bench "engine/event-loop" (fun n ->
+        let batch = 1024 in
+        let remaining = ref n in
+        while !remaining > 0 do
+          let k = Stdlib.min batch !remaining in
+          for _ = 1 to k do
+            ignore (Engine.Sim.schedule_after sim ~delay:1e-9 (fun () -> ()))
+          done;
+          Engine.Sim.run sim;
+          remaining := !remaining - k
+        done)
+  in
+  let bench_preprocessor () =
+    let pre = Qvisor.Preprocessor.of_plan (fig3_plan ()) in
+    let packet = Sched.Packet.make ~tenant:1 ~rank:100 ~flow:1 ~size:1500 () in
+    bench "preprocessor/process" (fun n ->
+        for _ = 1 to n do
+          packet.Sched.Packet.rank <- 100;
+          Qvisor.Preprocessor.process pre packet
+        done)
+  in
+  (* The armed flight-recorder ring: its alloc B/op column documents the
+     zero-allocation steady state the forensics PR promised. *)
+  let bench_recorder () =
+    let recorder = Engine.Recorder.create () in
+    bench "recorder/record" (fun n ->
+        for i = 1 to n do
+          Engine.Recorder.record recorder ~time:(float_of_int i)
+            ~kind:Engine.Recorder.Enqueue ~uid:i ~link:2 ~tenant:0 ~flow:3
+            ~rank_before:(-1) ~rank:42
+        done)
+  in
+  let entries =
+    [
+      bench_pifo ();
+      bench_fifo ();
+      bench_event_loop ();
+      bench_preprocessor ();
+      bench_recorder ();
+    ]
+  in
+  List.iter
+    (fun (e : Engine.Perf.Bench.entry) ->
+      Format.printf
+        "%-28s %10.1f ns/op (min %.1f, MAD %.2f)  %8.1f alloc B/op@."
+        e.Engine.Perf.Bench.b_name e.b_ns_per_op.Engine.Perf.Summary.s_median
+        e.b_ns_per_op.Engine.Perf.Summary.s_min
+        e.b_ns_per_op.Engine.Perf.Summary.s_mad
+        e.b_alloc_per_op.Engine.Perf.Summary.s_median)
+    entries;
+  write_json out (Engine.Perf.Bench.report_to_json ~mode entries)
+
+(* ------------------------------------------------------------------ *)
 (* Profiling & flight-recorder overhead                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -577,6 +683,30 @@ let run_profile () =
     "fig4 quick point: slo audit %.3g events/s (%.1f%% over the \
      recorder-armed rate it builds on)@."
     rate_slo slo_overhead;
+  (* The Engine.Perf layer (stage meters + GC sampling + pause monitor),
+     armed by an enabled telemetry registry.  Both sides run the same
+     telemetry+SLO configuration so the only delta is the perf
+     instrumentation itself; it is designed to stay under 10%. *)
+  let rate_perf ~perf () =
+    let tel = Engine.Telemetry.create () in
+    match Experiments.Fig4.run ~telemetry:tel ~slo:true ~perf params scheme with
+    | Error e -> failwith (Qvisor.Error.to_string e)
+    | Ok r ->
+      float_of_int r.Experiments.Fig4.events_fired
+      /. r.Experiments.Fig4.wall_seconds
+  in
+  ignore (rate_perf ~perf:false ());
+  let rate_perf_off = ref 0. and rate_perf_on = ref 0. in
+  for _ = 1 to 8 do
+    rate_perf_off := Float.max !rate_perf_off (rate_perf ~perf:false ());
+    rate_perf_on := Float.max !rate_perf_on (rate_perf ~perf:true ())
+  done;
+  let rate_perf_off = !rate_perf_off and rate_perf_on = !rate_perf_on in
+  let perf_overhead = 100. *. (1. -. (rate_perf_on /. rate_perf_off)) in
+  Format.printf
+    "fig4 quick point: perf telemetry off %.3g events/s, on %.3g events/s \
+     (overhead %.1f%%)@."
+    rate_perf_off rate_perf_on perf_overhead;
   write_json "BENCH_profile.json"
     (Engine.Json.Obj
        [
@@ -607,6 +737,13 @@ let run_profile () =
              ] );
          ("recorder_overhead_pct", Engine.Json.Number overhead);
          ("slo_overhead_pct", Engine.Json.Number slo_overhead);
+         ( "perf_telemetry_events_per_sec",
+           Engine.Json.Obj
+             [
+               ("off", Engine.Json.Number rate_perf_off);
+               ("on", Engine.Json.Number rate_perf_on);
+             ] );
+         ("perf_overhead_pct", Engine.Json.Number perf_overhead);
        ]);
   (* Where a quick Fig. 4 run spends its time (the committed span
      breakdown in results_profile.txt comes from here). *)
@@ -616,17 +753,78 @@ let run_profile () =
     Engine.Span.pp_table profiler
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match mode with
-  | "micro" -> run_micro ()
-  | "figures" -> run_figures ()
-  | "scaling" -> run_scaling ()
-  | "conformance" -> run_conformance ()
-  | "profile" -> run_profile ()
-  | _ ->
-    run_micro ();
-    run_figures ();
-    run_scaling ();
-    run_conformance ();
-    run_profile ());
-  Format.printf "@.bench: done@."
+  let open Cmdliner in
+  let mode_arg =
+    let doc =
+      "Section to run: $(b,micro), $(b,figures), $(b,scaling), \
+       $(b,conformance), $(b,engine), $(b,profile), or $(b,all)."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"MODE" ~doc)
+  in
+  let trials_arg =
+    let doc =
+      "Timed trials per engine benchmark (default 7; 5 with --quick)."
+    in
+    Arg.(
+      value & opt (some Cliopts.pos_int) None & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let min_time_arg =
+    let doc =
+      "Minimum seconds per engine-benchmark trial (default 0.05; 0.02 with \
+       --quick)."
+    in
+    Arg.(
+      value
+      & opt (some Cliopts.pos_float) None
+      & info [ "min-time" ] ~docv:"SECONDS" ~doc)
+  in
+  let out_arg =
+    let doc = "Where the engine mode writes its report." in
+    Arg.(
+      value & opt string "BENCH_engine.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let quick_arg =
+    let doc =
+      "CI-sized engine benchmarks: fewer, shorter trials (noisier — pair \
+       with a generous `bench diff --threshold`)."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let run mode trials min_time out quick =
+    let trials =
+      match trials with Some t -> t | None -> if quick then 5 else 7
+    in
+    let min_time_s =
+      match min_time with Some x -> x | None -> if quick then 0.02 else 0.05
+    in
+    let bench_mode = if quick then "quick" else "full" in
+    let engine () = run_engine ~trials ~min_time_s ~out ~mode:bench_mode () in
+    (match mode with
+    | "micro" -> run_micro ()
+    | "figures" -> run_figures ()
+    | "scaling" -> run_scaling ()
+    | "conformance" -> run_conformance ()
+    | "engine" -> engine ()
+    | "profile" -> run_profile ()
+    | "all" ->
+      run_micro ();
+      run_figures ();
+      run_scaling ();
+      run_conformance ();
+      engine ();
+      run_profile ()
+    | m ->
+      Format.eprintf
+        "unknown mode %S (expected micro|figures|scaling|conformance|engine|profile|all)@."
+        m;
+      exit 2);
+    Format.printf "@.bench: done@."
+  in
+  let doc = "QVISOR benchmark harness." in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "qvisor-bench" ~doc)
+          Term.(
+            const run $ mode_arg $ trials_arg $ min_time_arg $ out_arg
+            $ quick_arg)))

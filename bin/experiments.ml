@@ -200,9 +200,11 @@ let metrics_out_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+(* Atomic (temp file + rename): a scraper tailing the file, or a run
+   killed mid-write, can never observe a truncated exposition. *)
 let write_metrics path tel =
   try
-    Out_channel.with_open_text path (fun oc ->
+    Engine.Perf.write_atomic path (fun oc ->
         output_string oc
           (Engine.Exposition.render ~tenant_names:fig4_tenant_names tel))
   with Sys_error e ->
@@ -594,7 +596,7 @@ let single_cmd =
     in
     Arg.(
       value
-      & opt (some float) None
+      & opt (some Cliopts.pos_float) None
       & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc)
   in
   let run scale seed scheme load config telemetry trace trace_sample profile
@@ -613,10 +615,9 @@ let single_cmd =
       | "pifo-ideal" -> Experiments.Fig4.Pifo_pfabric_only
       | policy -> Experiments.Fig4.Qvisor_policy policy
     in
+    (* Positivity is enforced by the Cliopts.pos_float converter; only the
+       flag-combination constraint is left to check here. *)
     (match metrics_interval with
-    | Some iv when iv <= 0. ->
-      Format.eprintf "--metrics-interval must be positive (got %g)@." iv;
-      exit 1
     | Some _ when (not slo) || metrics_out = None ->
       Format.eprintf "--metrics-interval needs --slo and --metrics-out@.";
       exit 1

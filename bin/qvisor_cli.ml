@@ -637,8 +637,10 @@ let conformance_cmd =
     (* Before any failure exit: CI scrapes the divergence counters. *)
     (match (metrics_out, tel) with
     | Some path, Some tel ->
+      (* Atomic: a CI scraper racing the writer must never read a
+         truncated exposition file. *)
       (try
-         Out_channel.with_open_text path (fun oc ->
+         Engine.Perf.write_atomic path (fun oc ->
              output_string oc (Engine.Exposition.render tel))
        with Sys_error e ->
          Format.eprintf "cannot write metrics: %s@." e;
@@ -780,7 +782,7 @@ let metrics_cmd =
         (match out with
         | None -> print_string text
         | Some path ->
-          (try Out_channel.with_open_text path (fun oc -> output_string oc text)
+          (try Engine.Perf.write_atomic path (fun oc -> output_string oc text)
            with Sys_error e ->
              Format.eprintf "cannot write metrics: %s@." e;
              exit 1);
@@ -795,6 +797,97 @@ let metrics_cmd =
     Term.(
       const run $ tenants_arg $ policy_arg $ levels_arg $ spec_file_arg
       $ jobs_arg $ validate_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench: statistically-gated comparison of benchmark reports         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let old_arg =
+    let doc = "Baseline benchmark report (a committed BENCH_engine.json)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_arg =
+    let doc = "Candidate benchmark report to compare against $(i,OLD)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Relative regression threshold: a metric regresses when its median \
+       worsens by at least this fraction (the boundary counts) $(i,and) the \
+       change exceeds the noise band."
+    in
+    Arg.(
+      value & opt Cliopts.pos_float 0.15 & info [ "threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let noise_k_arg =
+    let doc =
+      "Noise-band width: a change only gates when its magnitude exceeds \
+       $(docv) times the sum of the two trials' median absolute deviations."
+    in
+    Arg.(value & opt Cliopts.pos_float 3.0 & info [ "noise-k" ] ~docv:"K" ~doc)
+  in
+  let json_out_arg =
+    let doc =
+      "Also write the machine-readable verdict (schema qvisor-bench-diff/1) \
+       to $(docv); written atomically and even when the diff fails, so CI \
+       can upload it from a failing step."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let diff_cmd =
+    let run old_file new_file threshold noise_k json_out =
+      let read path =
+        match Engine.Perf.Bench.read_report path with
+        | Ok entries -> entries
+        | Error e ->
+          Format.eprintf "%s@." e;
+          exit 2
+      in
+      let baseline = read old_file in
+      let current = read new_file in
+      let report =
+        Engine.Perf.Diff.compare ~threshold ~noise_k ~baseline ~current ()
+      in
+      Format.printf "%a@." Engine.Perf.Diff.pp_report report;
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        (try
+           Engine.Perf.write_atomic path (fun oc ->
+               output_string oc
+                 (Engine.Json.to_string ~pretty:true
+                    (Engine.Perf.Diff.report_to_json report));
+               output_char oc '\n')
+         with Sys_error e ->
+           Format.eprintf "cannot write verdict: %s@." e;
+           exit 2);
+        Format.eprintf "wrote %s@." path);
+      let n = Engine.Perf.Diff.regressions report in
+      if n > 0 then begin
+        Format.eprintf "FAIL: %d metric(s) regressed by >= %g%% beyond noise@."
+          n (100. *. threshold);
+        exit 1
+      end
+    in
+    let doc =
+      "Compare two benchmark reports and fail on statistically significant \
+       regressions.  Each metric (ns/op and alloc B/op per benchmark) is \
+       judged by its median: a regression needs both a relative change of at \
+       least --threshold and a magnitude outside the MAD-derived noise band, \
+       so trial jitter alone cannot fail a build.  Exits 1 when any metric \
+       regresses, 2 when a report cannot be read."
+    in
+    Cmd.v (Cmd.info "diff" ~doc)
+      Term.(
+        const run $ old_arg $ new_arg $ threshold_arg $ noise_k_arg
+        $ json_out_arg)
+  in
+  let doc =
+    "Benchmark-report tooling (reports are produced by `qvisor-bench -- \
+     engine`)."
+  in
+  Cmd.group (Cmd.info "bench" ~doc) [ diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* trace: packet-lineage forensics over NDJSON event files            *)
@@ -853,4 +946,12 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "qvisor-cli" ~doc)
-          [ plan_cmd; fit_cmd; check_cmd; conformance_cmd; metrics_cmd; trace_cmd ]))
+          [
+            plan_cmd;
+            fit_cmd;
+            check_cmd;
+            conformance_cmd;
+            metrics_cmd;
+            bench_cmd;
+            trace_cmd;
+          ]))

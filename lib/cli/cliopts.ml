@@ -1,0 +1,23 @@
+open Cmdliner
+
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some _ | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "expected a strictly positive integer, got '%s'" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let pos_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0. -> Ok v
+    | Some _ | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "expected a strictly positive number, got '%s'" s))
+  in
+  Arg.conv ~docv:"X" (parse, Format.pp_print_float)

@@ -1,0 +1,15 @@
+(** Shared [Cmdliner] argument converters for the qvisor executables.
+
+    Flags that denote counts, intervals or thresholds must be strictly
+    positive; these converters reject 0, negative and non-finite values
+    at parse time with a clear message (rather than silently accepting a
+    value the tool would misbehave on), e.g.:
+
+    {v qvisor-experiments: option '--metrics-interval': expected a
+       strictly positive number, got '0' v} *)
+
+val pos_int : int Cmdliner.Arg.conv
+(** A strictly positive integer ([>= 1]). *)
+
+val pos_float : float Cmdliner.Arg.conv
+(** A strictly positive, finite number ([> 0]). *)

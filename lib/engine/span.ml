@@ -1,41 +1,130 @@
-type entry = { begins : bool; name : string; ts : float; tid : int }
+type entry = {
+  begins : bool;
+  name : string;
+  ts : float;
+  tid : int;
+  minor_w : float;
+  promoted_w : float;
+  major_w : float;
+}
 
+(* Markers are stored as a structure of arrays — names and packed
+   tid/begins words in ordinary arrays, the four per-marker floats
+   (ts, minor, promoted, major words) unboxed in one [floatarray].
+   The obvious [entry Vec.t] held four boxed floats plus a record
+   header per marker: a million-span profile became ~10M small
+   long-lived major-heap objects, enough heap fragmentation to abort
+   OCaml 5.1 with "allocation failure during minor GC" once a
+   simulation started allocating on top.  The flat layout keeps the
+   same profile in three large arrays (and is smaller and faster). *)
 type t = {
   enabled : bool;
-  entries : entry Vec.t;
+  mutable names : string array;
+  mutable meta : int array;  (* (tid lsl 1) lor (begins as bit 0) *)
+  mutable data : floatarray;  (* 4 slots per marker *)
+  mutable len : int;  (* markers recorded *)
   mutable closed : int;
 }
 
-let create () = { enabled = true; entries = Vec.create (); closed = 0 }
+let word_bytes = float_of_int (Sys.word_size / 8)
 
-let disabled = { enabled = false; entries = Vec.create (); closed = 0 }
+let create () =
+  {
+    enabled = true;
+    names = [||];
+    meta = [||];
+    data = Float.Array.create 0;
+    len = 0;
+    closed = 0;
+  }
+
+let disabled = { (create ()) with enabled = false }
 
 let is_enabled t = t.enabled
+
+let ensure t extra =
+  let need = t.len + extra in
+  let cap = Array.length t.names in
+  if need > cap then begin
+    let cap' = max need (max 256 (2 * cap)) in
+    let names = Array.make cap' "" in
+    Array.blit t.names 0 names 0 t.len;
+    t.names <- names;
+    let meta = Array.make cap' 0 in
+    Array.blit t.meta 0 meta 0 t.len;
+    t.meta <- meta;
+    let data = Float.Array.create (4 * cap') in
+    Float.Array.blit t.data 0 data 0 (4 * t.len);
+    t.data <- data
+  end
+
+let push t ~begins name =
+  ensure t 1;
+  (* Counters are read before anything else is allocated for this
+     marker, so the end marker's own footprint stays outside its span;
+     the begin marker's counters tuple (and the [Fun.protect] closure)
+     land inside — a small constant self-allocation per span. *)
+  let minor_w, promoted_w, major_w = Gc.counters () in
+  let i = t.len in
+  let d = 4 * i in
+  t.names.(i) <- name;
+  t.meta.(i) <- (if begins then 1 else 0);
+  Float.Array.set t.data d (Unix.gettimeofday ());
+  Float.Array.set t.data (d + 1) minor_w;
+  Float.Array.set t.data (d + 2) promoted_w;
+  Float.Array.set t.data (d + 3) major_w;
+  t.len <- i + 1
+
+let get t i : entry =
+  let d = 4 * i in
+  {
+    begins = t.meta.(i) land 1 = 1;
+    name = t.names.(i);
+    tid = t.meta.(i) asr 1;
+    ts = Float.Array.get t.data d;
+    minor_w = Float.Array.get t.data (d + 1);
+    promoted_w = Float.Array.get t.data (d + 2);
+    major_w = Float.Array.get t.data (d + 3);
+  }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let alloc_bytes_between (b : entry) (e : entry) =
+  (e.minor_w -. b.minor_w +. (e.major_w -. b.major_w)
+  -. (e.promoted_w -. b.promoted_w))
+  *. word_bytes
 
 let with_ t ~name f =
   if not t.enabled then f ()
   else begin
-    Vec.add_last t.entries
-      { begins = true; name; ts = Unix.gettimeofday (); tid = 0 };
+    push t ~begins:true name;
     Fun.protect
       ~finally:(fun () ->
-        Vec.add_last t.entries
-          { begins = false; name; ts = Unix.gettimeofday (); tid = 0 };
+        push t ~begins:false name;
         t.closed <- t.closed + 1)
       f
   end
 
-let entries t = Vec.to_list t.entries
+let entries t = List.init t.len (get t)
 
 let span_count t = t.closed
 
 let merge_into ~into ?tid src =
   if into.enabled && src.enabled then begin
-    Vec.iter
-      (fun e ->
-        let e = match tid with None -> e | Some tid -> { e with tid } in
-        Vec.add_last into.entries e)
-      src.entries;
+    ensure into src.len;
+    let base = into.len in
+    for i = 0 to src.len - 1 do
+      into.names.(base + i) <- src.names.(i);
+      into.meta.(base + i) <-
+        (match tid with
+        | None -> src.meta.(i)
+        | Some tid -> (tid lsl 1) lor (src.meta.(i) land 1))
+    done;
+    Float.Array.blit src.data 0 into.data (4 * base) (4 * src.len);
+    into.len <- base + src.len;
     into.closed <- into.closed + src.closed
   end
 
@@ -43,9 +132,20 @@ let merge_into ~into ?tid src =
 (* Aggregation                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type total = { name : string; count : int; total_s : float; self_s : float }
+type total = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  alloc_b : float;
+  self_alloc_b : float;
+}
 
-type frame = { f_name : string; f_start : float; mutable f_child : float }
+type frame = {
+  f_entry : entry;
+  mutable f_child : float;
+  mutable f_child_alloc : float;
+}
 
 let totals t =
   let agg : (string, total) Hashtbl.t = Hashtbl.create 16 in
@@ -61,34 +161,48 @@ let totals t =
       Hashtbl.add stacks tid s;
       s
   in
-  Vec.iter
+  iter
     (fun e ->
       let stack = stack_of e.tid in
       if e.begins then
-        stack := { f_name = e.name; f_start = e.ts; f_child = 0. } :: !stack
+        stack := { f_entry = e; f_child = 0.; f_child_alloc = 0. } :: !stack
       else begin
         match !stack with
         | [] -> () (* unbalanced input: ignore the stray end marker *)
         | f :: rest ->
           stack := rest;
-          let dur = e.ts -. f.f_start in
+          let dur = e.ts -. f.f_entry.ts in
+          let alloc = alloc_bytes_between f.f_entry e in
           (match rest with
-          | parent :: _ -> parent.f_child <- parent.f_child +. dur
+          | parent :: _ ->
+            parent.f_child <- parent.f_child +. dur;
+            parent.f_child_alloc <- parent.f_child_alloc +. alloc
           | [] -> ());
           let prev =
             Option.value
-              (Hashtbl.find_opt agg f.f_name)
-              ~default:{ name = f.f_name; count = 0; total_s = 0.; self_s = 0. }
+              (Hashtbl.find_opt agg f.f_entry.name)
+              ~default:
+                {
+                  name = f.f_entry.name;
+                  count = 0;
+                  total_s = 0.;
+                  self_s = 0.;
+                  alloc_b = 0.;
+                  self_alloc_b = 0.;
+                }
           in
-          Hashtbl.replace agg f.f_name
+          Hashtbl.replace agg f.f_entry.name
             {
               prev with
               count = prev.count + 1;
               total_s = prev.total_s +. dur;
               self_s = prev.self_s +. Float.max 0. (dur -. f.f_child);
+              alloc_b = prev.alloc_b +. alloc;
+              self_alloc_b =
+                prev.self_alloc_b +. Float.max 0. (alloc -. f.f_child_alloc);
             }
       end)
-    t.entries;
+    t;
   Hashtbl.fold (fun _ v acc -> v :: acc) agg []
   |> List.sort (fun a b -> compare a.name b.name)
 
@@ -100,12 +214,13 @@ let pp_table ppf t =
            | 0 -> compare a.name b.name
            | c -> c)
   in
-  Format.fprintf ppf "@[<v>%-36s %8s %12s %12s@," "span" "count" "total (s)"
-    "self (s)";
+  Format.fprintf ppf "@[<v>%-36s %8s %12s %12s %14s %12s@," "span" "count"
+    "total (s)" "self (s)" "alloc (B)" "alloc B/op";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-36s %8d %12.4f %12.4f@," r.name r.count r.total_s
-        r.self_s)
+      Format.fprintf ppf "%-36s %8d %12.4f %12.4f %14.0f %12.1f@," r.name
+        r.count r.total_s r.self_s r.alloc_b
+        (r.alloc_b /. float_of_int r.count))
     rows;
   Format.fprintf ppf "@]"
 
@@ -114,31 +229,63 @@ let pp_table ppf t =
 (* ------------------------------------------------------------------ *)
 
 let to_chrome_json t =
-  let base =
-    Vec.fold_left
-      (fun acc (e : entry) -> Float.min acc e.ts)
-      infinity t.entries
+  let base = ref infinity in
+  iter (fun e -> base := Float.min !base e.ts) t;
+  let base = !base in
+  (* Replay the per-tid stacks once more so each "E" event can carry its
+     span's allocation delta as args. *)
+  let stacks : (int, entry list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
   in
-  let events =
-    Vec.fold_left
-      (fun acc (e : entry) ->
+  let events = ref [] in
+  iter
+    (fun e ->
+      let stack = stack_of e.tid in
+      let args =
+        if e.begins then begin
+          stack := e :: !stack;
+          []
+        end
+        else
+          match !stack with
+          | [] -> []
+          | b :: rest ->
+            stack := rest;
+            [
+              ( "args",
+                Json.Obj
+                  [
+                    ("minor_words", Json.Number (e.minor_w -. b.minor_w));
+                    ( "promoted_words",
+                      Json.Number (e.promoted_w -. b.promoted_w) );
+                    ("major_words", Json.Number (e.major_w -. b.major_w));
+                    ("alloc_bytes", Json.Number (alloc_bytes_between b e));
+                  ] );
+            ]
+      in
+      events :=
         Json.Obj
-          [
-            ("name", Json.String e.name);
-            ("cat", Json.String "qvisor");
-            ("ph", Json.String (if e.begins then "B" else "E"));
-            ("ts", Json.Number (1e6 *. (e.ts -. base)));
-            ("pid", Json.Number 0.);
-            ("tid", Json.Number (float_of_int e.tid));
-          ]
-        :: acc)
-      [] t.entries
-    |> List.rev
-  in
+          ([
+             ("name", Json.String e.name);
+             ("cat", Json.String "qvisor");
+             ("ph", Json.String (if e.begins then "B" else "E"));
+             ("ts", Json.Number (1e6 *. (e.ts -. base)));
+             ("pid", Json.Number 0.);
+             ("tid", Json.Number (float_of_int e.tid));
+           ]
+          @ args)
+        :: !events)
+    t;
   Json.Obj
     [
       ("displayTimeUnit", Json.String "ms");
-      ("traceEvents", Json.List events);
+      ("traceEvents", Json.List (List.rev !events));
     ]
 
 let write_chrome t oc =

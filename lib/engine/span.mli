@@ -18,12 +18,17 @@
 type t
 
 (** One raw profile entry: a begin or end marker.  Exposed for tests and
-    custom exporters; {!with_} always emits balanced pairs. *)
+    custom exporters; {!with_} always emits balanced pairs.  This is a
+    {e view} — markers are stored internally as flat unboxed arrays, so
+    even million-span profiles stay a handful of large heap objects. *)
 type entry = {
   begins : bool;
   name : string;
   ts : float;  (** absolute wall-clock seconds ([Unix.gettimeofday]) *)
   tid : int;  (** logical thread lane (0 until retagged by merge) *)
+  minor_w : float;  (** cumulative [Gc] minor words at the marker *)
+  promoted_w : float;
+  major_w : float;
 }
 
 val create : unit -> t
@@ -35,7 +40,12 @@ val is_enabled : t -> bool
 
 val with_ : t -> name:string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span.  The end marker is emitted even when the
-    thunk raises. *)
+    thunk raises.  Each marker snapshots the domain's [Gc.counters], so a
+    closed span knows the minor/promoted/major words allocated inside it;
+    the instrumentation itself contributes a small constant (the begin
+    marker's counters read and protect closure — well under 1 KB,
+    amortized growth of the marker arrays aside) to its own span and
+    nothing to enclosing ones beyond that. *)
 
 val entries : t -> entry list
 (** All entries in recording order (merged blocks follow the host's own
@@ -58,6 +68,10 @@ type total = {
   count : int;
   total_s : float;  (** summed span durations (children included) *)
   self_s : float;  (** summed durations minus time in child spans *)
+  alloc_b : float;
+      (** summed bytes allocated inside the spans (children included):
+          [(minor + major - promoted) * word size] deltas *)
+  self_alloc_b : float;  (** minus bytes allocated in child spans *)
 }
 
 val totals : t -> total list
@@ -66,14 +80,17 @@ val totals : t -> total list
     measurements). *)
 
 val pp_table : Format.formatter -> t -> unit
-(** The totals as a table, largest [total_s] first. *)
+(** The totals as a table, largest [total_s] first, with per-span
+    allocation columns (total bytes and bytes per span instance). *)
 
 (** {1 Export} *)
 
 val to_chrome_json : t -> Json.t
 (** [{"displayTimeUnit":"ms","traceEvents":[...]}] with one ["B"] and one
     ["E"] event per span ([pid] 0, [tid] as tagged, [ts] microseconds
-    rebased to the earliest entry). *)
+    rebased to the earliest entry).  Each ["E"] event carries the span's
+    allocation delta as
+    [args: {minor_words, promoted_words, major_words, alloc_bytes}]. *)
 
 val write_chrome : t -> out_channel -> unit
 (** {!to_chrome_json}, pretty-printed to the channel, flushed. *)

@@ -170,8 +170,8 @@ let health_severity = function
 
 let run ?(telemetry = Engine.Telemetry.disabled)
     ?(profiler = Engine.Span.disabled) ?flight ?on_anomaly ?(slo = false)
-    ?alerts ?(slo_interval = 0.01) ?(on_tick = fun (_ : float) -> ()) params
-    scheme =
+    ?alerts ?(slo_interval = 0.01) ?(on_tick = fun (_ : float) -> ())
+    ?(perf = true) params scheme =
   Engine.Span.with_ profiler ~name:"fig4.run" @@ fun () ->
   let ( let* ) = Result.bind in
   let num_hosts = params.leaves * params.hosts_per_leaf in
@@ -185,6 +185,18 @@ let run ?(telemetry = Engine.Telemetry.disabled)
     (topo, Netsim.Routing.compute topo)
   in
   let sim = Engine.Sim.create ~profiler () in
+  (* The perf layer (stage meters, GC gauges, pause monitor) rides on the
+     telemetry registry; [~perf:false] isolates its cost for the overhead
+     benchmark while keeping the rest of the instrumentation identical. *)
+  let meters =
+    if perf && Engine.Telemetry.is_enabled telemetry then
+      Engine.Perf.Meters.create ()
+    else Engine.Perf.Meters.disabled
+  in
+  let pause =
+    if Engine.Perf.Meters.is_enabled meters then Engine.Perf.Pause.start ()
+    else None
+  in
   let rng = Engine.Rng.create ~seed:params.seed in
   let transport = Netsim.Transport.create ~sim () in
   let* preprocess, make_qdisc, slo_rt =
@@ -362,7 +374,7 @@ let run ?(telemetry = Engine.Telemetry.disabled)
              Qvisor.Slo.on_tie_inversion rt.auditor
                ~tenant_id:p.Sched.Packet.tenant)
            slo_rt)
-      ~telemetry ~profiler ?flight ~on_anomaly
+      ~telemetry ~profiler ?flight ~on_anomaly ~meters
       ~deliver:(Netsim.Transport.deliver transport)
       ()
   in
@@ -425,6 +437,10 @@ let run ?(telemetry = Engine.Telemetry.disabled)
     final_eval := evaluate_all;
     let rec tick () =
       evaluate_all ();
+      if Engine.Perf.Meters.is_enabled meters then begin
+        Engine.Perf.Meters.publish meters telemetry;
+        Engine.Perf.sample_gc ?pause telemetry
+      end;
       on_tick (Engine.Sim.now sim);
       if Engine.Sim.now sim +. slo_interval <= until then
         ignore (Engine.Sim.schedule_after sim ~delay:slo_interval tick)
@@ -473,6 +489,10 @@ let run ?(telemetry = Engine.Telemetry.disabled)
     Engine.Telemetry.Gauge.set
       (Engine.Telemetry.gauge telemetry "sim.wall_seconds")
       wall_seconds
+  end;
+  if Engine.Perf.Meters.is_enabled meters then begin
+    Engine.Perf.Meters.publish meters telemetry;
+    Engine.Perf.sample_gc ?pause telemetry
   end;
   let cbr_deadline_fraction =
     match cbr_stats with
@@ -549,7 +569,11 @@ let jobs_of_grid params ~loads ~schemes =
 
 let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
     ?(profiler_for = fun (_ : job) -> Engine.Span.disabled)
-    ?(on_start = fun (_ : job) -> ()) ?(slo = false) params jobs_list =
+    ?(on_start = fun (_ : job) -> ()) ?(slo = false) ?(perf = false) params
+    jobs_list =
+  (* [perf] defaults off here, unlike [run]: the perf layer's gauges are
+     wall-clock rates, so merged snapshots would no longer be identical
+     across worker counts — the invariant parallel sweeps promise. *)
   let outcomes =
     Engine.Parallel.map ?jobs
       (fun job ->
@@ -557,7 +581,7 @@ let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
         run
           ~telemetry:(telemetry_for job)
           ~profiler:(profiler_for job)
-          ~slo
+          ~slo ~perf
           { params with load = job.job_load }
           job.job_scheme)
       jobs_list
@@ -571,9 +595,9 @@ let run_jobs ?jobs ?(telemetry_for = fun (_ : job) -> Engine.Telemetry.disabled)
   in
   collect [] outcomes
 
-let sweep ?jobs ?telemetry_for ?profiler_for ?on_start ?slo params ~loads
+let sweep ?jobs ?telemetry_for ?profiler_for ?on_start ?slo ?perf params ~loads
     ~schemes =
-  run_jobs ?jobs ?telemetry_for ?profiler_for ?on_start ?slo params
+  run_jobs ?jobs ?telemetry_for ?profiler_for ?on_start ?slo ?perf params
     (jobs_of_grid params ~loads ~schemes)
 
 let paper_loads = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ]

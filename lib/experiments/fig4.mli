@@ -105,6 +105,7 @@ val run :
   ?alerts:out_channel ->
   ?slo_interval:float ->
   ?on_tick:(float -> unit) ->
+  ?perf:bool ->
   params ->
   scheme ->
   (result, Qvisor.Error.t) Stdlib.result
@@ -132,6 +133,15 @@ val run :
     final per-tenant verdicts land in [result.slo].  With [telemetry],
     each evaluation also mirrors [slo.tenant.<id>.*] and
     [health.tenant.<id>.state] gauges into the registry.
+
+    [perf] (default [true]) — with an enabled [telemetry] registry, the
+    run also arms {!Engine.Perf}: per-stage throughput meters on the
+    fabric's enqueue/dequeue/preprocess/recorder/SLO-audit paths
+    (published as [perf.stage.*] counters and gauges at each SLO
+    evaluation tick and at the end of the run) plus [gc.*] gauges
+    sampled from [Gc.quick_stat] and a best-effort max-GC-pause monitor.
+    [~perf:false] keeps the rest of the instrumentation identical while
+    dropping this layer — how the overhead benchmark isolates its cost.
     Fails with the policy/synthesis/deployment error when the scheme's
     QVISOR configuration is invalid — never by raising, so a run can
     execute on a worker domain. *)
@@ -165,6 +175,7 @@ val run_jobs :
   ?profiler_for:(job -> Engine.Span.t) ->
   ?on_start:(job -> unit) ->
   ?slo:bool ->
+  ?perf:bool ->
   params ->
   job list ->
   (result list, Qvisor.Error.t) Stdlib.result
@@ -179,8 +190,12 @@ val run_jobs :
     the worker count); [on_start] is invoked in the {e worker} domain as a
     job begins, so the callback must be thread-safe.  [slo] (default
     [false]) audits every job's run as in {!run} — final verdicts are
-    identical for any worker count.  The lowest-indexed failing job's
-    error is returned. *)
+    identical for any worker count.  [perf] defaults to [false] here,
+    {e unlike} {!run}: the {!Engine.Perf} gauges are wall-clock rates,
+    so publishing them would make merged snapshots differ across worker
+    counts, breaking the invariance this function promises — opt in
+    only when the registries are inspected per job.  The
+    lowest-indexed failing job's error is returned. *)
 
 val sweep :
   ?jobs:int ->
@@ -188,6 +203,7 @@ val sweep :
   ?profiler_for:(job -> Engine.Span.t) ->
   ?on_start:(job -> unit) ->
   ?slo:bool ->
+  ?perf:bool ->
   params ->
   loads:float list ->
   schemes:scheme list ->

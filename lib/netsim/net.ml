@@ -19,6 +19,7 @@ type port = {
 }
 
 module Tel = Engine.Telemetry
+module Perf = Engine.Perf
 
 (* Per-tenant counter triple, created lazily the first time a tenant's
    packet crosses the fabric. *)
@@ -79,6 +80,14 @@ type t = {
   deliver : Sched.Packet.t -> unit;
   ins : instruments option;
   flight : flight option;
+  (* Stage meters, pre-extracted so the hot path pays one field load per
+     bracket (all are [Perf.Meter.disabled] unless the caller passed
+     enabled meters). *)
+  m_enq : Perf.Meter.t;
+  m_deq : Perf.Meter.t;
+  m_pre : Perf.Meter.t;
+  m_rec : Perf.Meter.t;
+  m_slo : Perf.Meter.t;
 }
 
 let make_instruments tel ~num_ports =
@@ -119,7 +128,8 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
     ?preprocess ?(on_enqueue = fun _ -> ()) ?(on_dequeue = fun _ -> ())
     ?(on_drop = fun _ -> ()) ?(on_tie_inversion = fun _ -> ())
     ?telemetry ?(profiler = Engine.Span.disabled) ?flight
-    ?(on_anomaly = fun ~link_id:_ _ -> ()) ~deliver () =
+    ?(on_anomaly = fun ~link_id:_ _ -> ()) ?(meters = Perf.Meters.disabled)
+    ~deliver () =
   Engine.Span.with_ profiler ~name:"net.build" @@ fun () ->
   let ports =
     Array.init (Topology.num_links topo) (fun id ->
@@ -188,6 +198,11 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
     deliver;
     ins;
     flight;
+    m_enq = Perf.Meters.enqueue meters;
+    m_deq = Perf.Meters.dequeue meters;
+    m_pre = Perf.Meters.preprocess meters;
+    m_rec = Perf.Meters.recorder meters;
+    m_slo = Perf.Meters.slo_audit meters;
   }
 
 let refill t bucket =
@@ -233,6 +248,7 @@ let rec pump t port =
     match if admitted then port.qdisc.Sched.Qdisc.dequeue () else None with
     | None -> ()
     | Some p ->
+      Perf.Meter.before t.m_deq;
       (match port.bucket with
       | Some bucket ->
         bucket.tokens <-
@@ -260,7 +276,9 @@ let rec pump t port =
         (match t.ins with
         | Some ins -> Tel.Counter.incr ins.tie_total
         | None -> ());
-        t.on_tie_inversion p
+        Perf.Meter.before t.m_slo;
+        t.on_tie_inversion p;
+        Perf.Meter.after t.m_slo
       | _ -> ());
       port.last_deq <-
         Some
@@ -268,17 +286,21 @@ let rec pump t port =
             p.Sched.Packet.uid,
             p.Sched.Packet.enqueued_at,
             deq_now );
+      Perf.Meter.before t.m_slo;
       t.on_dequeue p;
+      Perf.Meter.after t.m_slo;
       (match t.flight with
       | None -> ()
       | Some fl ->
         let link_id = port.link.Topology.id in
+        Perf.Meter.before t.m_rec;
         Engine.Recorder.record
           fl.recorders.(link_id)
           ~time:(Engine.Sim.now t.sim) ~kind:Engine.Recorder.Dequeue
           ~uid:p.Sched.Packet.uid ~link:link_id ~tenant:p.Sched.Packet.tenant
           ~flow:p.Sched.Packet.flow ~rank_before:(-1)
-          ~rank:p.Sched.Packet.rank);
+          ~rank:p.Sched.Packet.rank;
+        Perf.Meter.after t.m_rec);
       (match t.ins with
       | None -> ()
       | Some ins ->
@@ -301,21 +323,36 @@ let rec pump t port =
              pump t port));
       ignore
         (Engine.Sim.schedule_after t.sim ~delay:arrival (fun () ->
-             receive t port.link.Topology.dst p))
+             receive t port.link.Topology.dst p));
+      Perf.Meter.after t.m_deq
   end
 
 and enqueue t port p =
+  (* The enqueue meter brackets the whole per-hop admission path
+     (preprocess and audit hooks included); the nested preprocess /
+     slo_audit / recorder meters attribute its components. *)
+  Perf.Meter.before t.m_enq;
+  Perf.Meter.before t.m_pre;
   t.preprocess p;
+  Perf.Meter.after t.m_pre;
+  Perf.Meter.before t.m_slo;
   t.on_enqueue p;
+  Perf.Meter.after t.m_slo;
   p.Sched.Packet.enqueued_at <- Engine.Sim.now t.sim;
   let dropped = port.qdisc.Sched.Qdisc.enqueue p in
-  List.iter t.on_drop dropped;
+  (match dropped with
+  | [] -> ()
+  | dropped ->
+    Perf.Meter.before t.m_slo;
+    List.iter t.on_drop dropped;
+    Perf.Meter.after t.m_slo);
   (match t.flight with
   | None -> ()
   | Some fl ->
     let link_id = port.link.Topology.id in
     let now = Engine.Sim.now t.sim in
     let rec_ = fl.recorders.(link_id) in
+    Perf.Meter.before t.m_rec;
     if t.has_preprocess then
       Engine.Recorder.record rec_ ~time:now
         ~kind:Engine.Recorder.Preprocess ~uid:p.Sched.Packet.uid
@@ -338,6 +375,7 @@ and enqueue t port p =
             ~tenant:d.Sched.Packet.tenant ~flow:d.Sched.Packet.flow
             ~rank_before:(-1) ~rank:d.Sched.Packet.rank)
         dropped);
+    Perf.Meter.after t.m_rec;
     if
       Engine.Recorder.Trigger.observe fl.triggers.(link_id)
         ~dropped:(dropped <> [])
@@ -375,6 +413,7 @@ and enqueue t port p =
             ~link:link_id ~tenant:d.Sched.Packet.tenant
             ~flow:d.Sched.Packet.flow ~rank:d.Sched.Packet.rank ())
       dropped);
+  Perf.Meter.after t.m_enq;
   pump t port
 
 and forward t node p =

@@ -54,6 +54,7 @@ val create :
   ?profiler:Engine.Span.t ->
   ?flight:flight_config ->
   ?on_anomaly:(link_id:int -> Engine.Recorder.t -> unit) ->
+  ?meters:Engine.Perf.Meters.t ->
   deliver:(Sched.Packet.t -> unit) ->
   unit ->
   t
@@ -88,6 +89,16 @@ val create :
     trigger.  When a trigger fires, [on_anomaly] (default: nothing) runs
     with the port's recorder — the hook dumps the last-N events as NDJSON
     next to whatever reproducer the caller is writing.
+
+    [meters] (default: {!Engine.Perf.Meters.disabled}) brackets the
+    per-hop stages with throughput meters: [enqueue] spans the whole
+    admission path of a hop (with nested [preprocess], [slo_audit] and
+    [recorder] meters attributing its components), [dequeue] spans a
+    packet's start-of-transmission path, [slo_audit] additionally counts
+    the [on_dequeue]/[on_drop]/[on_tie_inversion] hook calls, and
+    [recorder] the flight-recorder appends.  The caller publishes the
+    meters into a registry at window close
+    ({!Engine.Perf.Meters.publish}).
 
     [telemetry] (default: off) instruments every port: per-port and
     per-tenant enqueue/dequeue/drop counters ([net.port.<id>.*],
