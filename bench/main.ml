@@ -97,6 +97,10 @@ let test_fifo =
 
 let test_pifo =
   qdisc_churn_test ~name:"fig3/pifo-enq-deq" (fun () ->
+      Sched.Bucket_queue.create ~capacity_pkts:256 ())
+
+let test_pifo_map =
+  qdisc_churn_test ~name:"sched/pifo-map-enq-deq" (fun () ->
       Sched.Pifo_queue.create ~capacity_pkts:256 ())
 
 let test_sp_pifo =
@@ -218,6 +222,7 @@ let all_micro =
     [
       test_preprocessor;
       test_pifo;
+      test_pifo_map;
       test_fifo;
       test_sp_pifo;
       test_aifo;
@@ -514,28 +519,51 @@ let run_engine ~trials ~min_time_s ~out ~mode () =
     "== engine benchmarks (%d trials, >= %g s each; %s mode) ==@." trials
     min_time_s mode;
   let bench name f = Engine.Perf.Bench.run ~trials ~min_time_s ~name f in
-  let mk_packet rng =
-    Sched.Packet.make
-      ~rank:(Engine.Rng.int_range rng ~lo:0 ~hi:65535)
-      ~flow:1 ~size:1500 ()
-  in
   (* Steady-state enqueue+dequeue churn on a part-full queue: one op is
-     one enqueue plus one dequeue, so occupancy never drifts. *)
-  let churn_bench name make =
+     one dequeue plus one enqueue, so occupancy never drifts.  Runs on
+     the allocation-free [enqueue_drop] hot path, as the fabric does, and
+     recycles the dequeued packet with a freshly rolled rank — the entry
+     measures the qdisc, not [Packet.make], and its alloc B/op column
+     documents the backend's own allocation per operation. *)
+  let drop_sink (_ : Sched.Packet.t) = () in
+  let churn_bench ?(prefill = 64) ?(rank_hi = 65535) name make =
     let q = make () in
     let rng = Engine.Rng.create ~seed:7 in
-    for _ = 1 to 64 do
-      ignore (q.Sched.Qdisc.enqueue (mk_packet rng))
+    for _ = 1 to prefill do
+      q.Sched.Qdisc.enqueue_drop
+        (Sched.Packet.make
+           ~rank:(Engine.Rng.int_range rng ~lo:0 ~hi:rank_hi)
+           ~flow:1 ~size:1500 ())
+        drop_sink
     done;
     bench name (fun n ->
         for _ = 1 to n do
-          ignore (q.Sched.Qdisc.enqueue (mk_packet rng));
-          ignore (q.Sched.Qdisc.dequeue ())
+          match q.Sched.Qdisc.dequeue () with
+          | Some p ->
+            p.Sched.Packet.rank <- Engine.Rng.int_range rng ~lo:0 ~hi:rank_hi;
+            q.Sched.Qdisc.enqueue_drop p drop_sink
+          | None -> ()
         done)
   in
+  (* The default exact backend (what `pifo` deploys today). *)
   let bench_pifo () =
     churn_bench "pifo/enqueue-dequeue" (fun () ->
+        Sched.Bucket_queue.create ~capacity_pkts:256 ())
+  in
+  (* The retired Map-based PIFO, kept for the heap-vs-bucket delta. *)
+  let bench_pifo_map () =
+    churn_bench "pifo-map/enqueue-dequeue" (fun () ->
         Sched.Pifo_queue.create ~capacity_pkts:256 ())
+  in
+  (* Bucket-queue stress shapes: a deep queue (where the Map backend's
+     O(log n) bites) and a dense rank space (all FIFO-tie traffic). *)
+  let bench_bucket_deep () =
+    churn_bench ~prefill:4096 "bucket/enqueue-dequeue-deep" (fun () ->
+        Sched.Bucket_queue.create ~capacity_pkts:8192 ())
+  in
+  let bench_bucket_dense () =
+    churn_bench ~rank_hi:63 "bucket/enqueue-dequeue-dense" (fun () ->
+        Sched.Bucket_queue.create ~capacity_pkts:256 ())
   in
   let bench_fifo () =
     churn_bench "fifo/enqueue-dequeue" (fun () ->
@@ -551,7 +579,7 @@ let run_engine ~trials ~min_time_s ~out ~mode () =
         while !remaining > 0 do
           let k = Stdlib.min batch !remaining in
           for _ = 1 to k do
-            ignore (Engine.Sim.schedule_after sim ~delay:1e-9 (fun () -> ()))
+            Engine.Sim.schedule_after_ sim ~delay:1e-9 (fun () -> ())
           done;
           Engine.Sim.run sim;
           remaining := !remaining - k
@@ -580,6 +608,9 @@ let run_engine ~trials ~min_time_s ~out ~mode () =
   let entries =
     [
       bench_pifo ();
+      bench_pifo_map ();
+      bench_bucket_deep ();
+      bench_bucket_dense ();
       bench_fifo ();
       bench_event_loop ();
       bench_preprocessor ();

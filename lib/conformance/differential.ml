@@ -21,6 +21,16 @@ let standard_backends () =
       make = mk (fun capacity_pkts -> Qvisor.Deploy.Ideal_pifo { capacity_pkts });
     };
     {
+      (* The retired Map-based PIFO, kept as a second exact backend: every
+         fleet doubles as a heap-vs-bucket differential, so a regression in
+         either implementation shows up as a divergence on this pair. *)
+      bname = "pifo-map";
+      expect_exact = true;
+      make =
+        (fun ~plan:_ ~capacity_pkts ->
+          Ok (Sched.Pifo_queue.create ~name:"pifo-map" ~capacity_pkts ()));
+    };
+    {
       bname = "sp-bank-8q";
       expect_exact = false;
       make =
@@ -164,7 +174,9 @@ let replay ?(recorder = Engine.Recorder.disabled) ~plan ~qdisc
         Hashtbl.replace items p.Sched.Packet.uid it;
         rec_event ~ei ~kind:Engine.Recorder.Preprocess ~rank_before:label it;
         rec_event ~ei ~kind:Engine.Recorder.Enqueue ~rank_before:(-1) it;
-        let victims = qdisc.Sched.Qdisc.enqueue p in
+        let victims = ref [] in
+        qdisc.Sched.Qdisc.enqueue_drop p (fun d -> victims := d :: !victims);
+        let victims = List.rev !victims in
         if Sched.Qdisc.accepted qdisc p victims then begin
           add_rank it.Oracle.rank;
           match tier_of tenant with

@@ -49,27 +49,24 @@ let qdisc fault ~capacity_pkts =
     decr count;
     bytes := !bytes - p.Sched.Packet.size
   in
-  let enqueue (p : Sched.Packet.t) =
-    if !count < capacity_pkts then begin
-      insert p;
-      []
-    end
+  let enqueue_drop (p : Sched.Packet.t) on_drop =
+    if !count < capacity_pkts then insert p
     else begin
       match fault with
       | Drop_newest ->
         incr drops;
-        [ p ]
+        on_drop p
       | Lifo_ties ->
         let worst_key, worst = PMap.max_binding !store in
         if p.Sched.Packet.rank >= worst.Sched.Packet.rank then begin
           incr drops;
-          [ p ]
+          on_drop p
         end
         else begin
           remove worst_key worst;
           insert p;
           incr drops;
-          [ worst ]
+          on_drop worst
         end
     end
   in
@@ -80,12 +77,10 @@ let qdisc fault ~capacity_pkts =
       remove k p;
       Some p
   in
-  {
-    Sched.Qdisc.name = "fault:" ^ to_string fault;
-    enqueue;
-    dequeue;
-    peek = (fun () -> Option.map snd (PMap.min_binding_opt !store));
-    length = (fun () -> !count);
-    bytes = (fun () -> !bytes);
-    drops = (fun () -> !drops);
-  }
+  Sched.Qdisc.make
+    ~name:("fault:" ^ to_string fault)
+    ~enqueue_drop ~dequeue
+    ~peek:(fun () -> Option.map snd (PMap.min_binding_opt !store))
+    ~length:(fun () -> !count)
+    ~bytes:(fun () -> !bytes)
+    ~drops:(fun () -> !drops)

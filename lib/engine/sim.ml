@@ -1,47 +1,74 @@
 type handle = { mutable live : bool; action : unit -> unit }
 
+(* Hot-path events skip the handle record entirely: the per-packet
+   transmit/arrival events in the network simulator are never cancelled,
+   so boxing a cancellation flag for each of them is pure overhead. *)
+type ev = Fun of (unit -> unit) | H of handle
+
 type t = {
   mutable clock : float;
-  queue : handle Event_queue.t;
+  queue : ev Timer_wheel.t;
   mutable fired : int;
   mutable busy : float; (* wall-clock seconds spent inside [run] *)
   profiler : Span.t;
 }
 
 let create ?(profiler = Span.disabled) () =
-  { clock = 0.; queue = Event_queue.create (); fired = 0; busy = 0.; profiler }
+  {
+    clock = 0.;
+    queue = Timer_wheel.create ();
+    fired = 0;
+    busy = 0.;
+    profiler;
+  }
 
 let now t = t.clock
 
-let schedule_at t ~time f =
+let check_time t time =
   if time < t.clock then
     invalid_arg
-      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock)
+
+let schedule_at t ~time f =
+  check_time t time;
   let h = { live = true; action = f } in
-  Event_queue.push t.queue ~time h;
+  Timer_wheel.push t.queue ~time (H h);
   h
 
 let schedule_after t ~delay f =
   if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
+let schedule_at_ t ~time f =
+  check_time t time;
+  Timer_wheel.push t.queue ~time (Fun f)
+
+let schedule_after_ t ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at_ t ~time:(t.clock +. delay) f
+
 let cancel h = h.live <- false
 
 let is_pending h = h.live
 
-let fire t time h =
+let fire t time ev =
   t.clock <- time;
-  if h.live then begin
-    h.live <- false;
+  match ev with
+  | Fun f ->
     t.fired <- t.fired + 1;
-    h.action ()
-  end
+    f ()
+  | H h ->
+    if h.live then begin
+      h.live <- false;
+      t.fired <- t.fired + 1;
+      h.action ()
+    end
 
 let step t =
-  match Event_queue.pop t.queue with
+  match Timer_wheel.pop t.queue with
   | None -> false
-  | Some (time, h) ->
-    fire t time h;
+  | Some (time, ev) ->
+    fire t time ev;
     true
 
 let run ?until t =
@@ -52,15 +79,15 @@ let run ?until t =
       | Some horizon ->
         let continue = ref true in
         while !continue do
-          match Event_queue.peek_time t.queue with
-          | Some time when time <= horizon -> ignore (step t)
-          | Some _ | None ->
+          match Timer_wheel.pop_before t.queue ~horizon with
+          | Some (time, ev) -> fire t time ev
+          | None ->
             t.clock <- max t.clock horizon;
             continue := false
         done);
       t.busy <- t.busy +. (Unix.gettimeofday () -. started))
 
-let pending_events t = Event_queue.size t.queue
+let pending_events t = Timer_wheel.size t.queue
 
 let events_fired t = t.fired
 

@@ -8,7 +8,14 @@
 type t
 
 type handle
-(** Cancellation handle for a scheduled event. *)
+(** Cancellation handle for a scheduled event.
+
+    A handle is only worth paying for when the event may be {!cancel}ed
+    before it fires — retransmission timeouts disarmed by an ACK
+    ([Netsim.Transport]'s RTO), watchdogs, leases.  Fire-and-forget events
+    (per-packet transmit/arrival, open-loop arrival processes, periodic
+    ticks) should use {!schedule_at_} / {!schedule_after_}, which skip the
+    handle allocation entirely. *)
 
 val create : ?profiler:Span.t -> unit -> t
 (** [profiler] (default: off) wraps every {!run} call in a ["sim.run"]
@@ -23,6 +30,17 @@ val schedule_at : t -> time:float -> (unit -> unit) -> handle
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] is [schedule_at t ~time:(now t +. delay) f].
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val schedule_at_ : t -> time:float -> (unit -> unit) -> unit
+(** Handle-free fast path: like {!schedule_at} but the event cannot be
+    cancelled and no handle is allocated.  Use for fire-and-forget events
+    on hot paths (see {!type:handle} for when a handle is warranted).
+    @raise Invalid_argument if [time] is in the past. *)
+
+val schedule_after_ : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule_after_ t ~delay f] is
+    [schedule_at_ t ~time:(now t +. delay) f].
     @raise Invalid_argument if [delay < 0.]. *)
 
 val cancel : handle -> unit

@@ -201,7 +201,13 @@ let run ?(telemetry = Engine.Telemetry.disabled)
   let transport = Netsim.Transport.create ~sim () in
   let* preprocess, make_qdisc, slo_rt =
     let fifo _ = Sched.Fifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
-    let pifo _ = Sched.Pifo_queue.create ~capacity_pkts:params.queue_capacity_pkts () in
+    (* Exact PIFO semantics from the O(1) bucket-queue core; raw pFabric
+       ranks (flow-size cap / unit bytes) fit the default rank space, and
+       anything beyond it is clamped for ordering only. *)
+    let pifo _ =
+      Sched.Bucket_queue.create ~name:"pifo"
+        ~capacity_pkts:params.queue_capacity_pkts ()
+    in
     let* () =
       if slo && slo_interval <= 0. then
         Error (Qvisor.Error.Config "slo_interval must be positive")
@@ -443,9 +449,9 @@ let run ?(telemetry = Engine.Telemetry.disabled)
       end;
       on_tick (Engine.Sim.now sim);
       if Engine.Sim.now sim +. slo_interval <= until then
-        ignore (Engine.Sim.schedule_after sim ~delay:slo_interval tick)
+        Engine.Sim.schedule_after_ sim ~delay:slo_interval tick
     in
-    ignore (Engine.Sim.schedule_after sim ~delay:slo_interval tick));
+    Engine.Sim.schedule_after_ sim ~delay:slo_interval tick);
   (* Tenant 0: pFabric data-mining flows (always present). *)
   let metrics = Netsim.Metrics.create () in
   let started_measured = ref 0 in

@@ -13,9 +13,20 @@ type port = {
   mutable busy : bool;
   mutable tx_bytes : int;
   bucket : bucket option;
-  (* (rank, uid, enqueued_at, dequeued_at) of the port's previous
-     dequeue, for the equal-rank FIFO-order conformance check. *)
-  mutable last_deq : (int * int * float * float) option;
+  (* The port's previous dequeue, for the equal-rank FIFO-order
+     conformance check: rank, uid ([-1] = no dequeue yet), and the
+     enqueue/dequeue instants as IEEE-754 bit patterns.  Non-negative
+     floats compare monotonically as integer bits, so the check needs
+     only int compares and the per-dequeue stores stay allocation- and
+     write-barrier-free (no tuple, no boxed floats). *)
+  mutable last_rank : int;
+  mutable last_uid : int;
+  mutable last_enq_bits : int;
+  mutable last_deq_bits : int;
+  (* Preallocated end-of-transmission continuation, installed right after
+     the net is built so the per-packet hot path schedules it without
+     allocating a fresh closure. *)
+  mutable tx_done : unit -> unit;
 }
 
 module Tel = Engine.Telemetry
@@ -69,6 +80,7 @@ type flight = {
 type t = {
   sim : Engine.Sim.t;
   topo : Topology.t;
+  num_hosts : int; (* cached: node ids below this are hosts (per-hop check) *)
   routing : Routing.t;
   ports : port array; (* indexed by link id *)
   preprocess : Sched.Packet.t -> unit;
@@ -88,6 +100,14 @@ type t = {
   m_pre : Perf.Meter.t;
   m_rec : Perf.Meter.t;
   m_slo : Perf.Meter.t;
+  (* Allocation-free drop plumbing for [Qdisc.enqueue_drop]: one callback
+     per net, reading the in-flight enqueue's context from these fields.
+     Safe because a discipline's enqueue is synchronous and non-reentrant
+     (scheduled callbacks are deferred to the event loop). *)
+  mutable drop_cb : Sched.Packet.t -> unit;
+  mutable cur_uid : int;
+  mutable cur_link : int;
+  mutable dropped_any : bool;
 }
 
 let make_instruments tel ~num_ports =
@@ -124,7 +144,7 @@ let tenant_counters ins id =
     Hashtbl.add ins.by_tenant id c;
     c
 
-let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
+let build ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
     ?preprocess ?(on_enqueue = fun _ -> ()) ?(on_dequeue = fun _ -> ())
     ?(on_drop = fun _ -> ()) ?(on_tie_inversion = fun _ -> ())
     ?telemetry ?(profiler = Engine.Span.disabled) ?flight
@@ -156,7 +176,11 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
           busy = false;
           tx_bytes = 0;
           bucket;
-          last_deq = None;
+          last_rank = 0;
+          last_uid = -1;
+          last_enq_bits = 0;
+          last_deq_bits = 0;
+          tx_done = ignore;
         })
   in
   let ins =
@@ -187,6 +211,7 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
   {
     sim;
     topo;
+    num_hosts = Topology.num_hosts topo;
     routing;
     ports;
     preprocess = Option.value preprocess ~default:(fun _ -> ());
@@ -203,7 +228,42 @@ let create ~sim ~topo ~routing ~make_qdisc ?(shaper_of = fun _ -> None)
     m_pre = Perf.Meters.preprocess meters;
     m_rec = Perf.Meters.recorder meters;
     m_slo = Perf.Meters.slo_audit meters;
+    drop_cb = ignore;
+    cur_uid = -1;
+    cur_link = -1;
+    dropped_any = false;
   }
+
+(* A dropped (or evicted) packet from the in-flight enqueue: hooks, flight
+   record, telemetry — all without materializing a drop list. *)
+let handle_drop t (d : Sched.Packet.t) =
+  t.dropped_any <- true;
+  Perf.Meter.before t.m_slo;
+  t.on_drop d;
+  Perf.Meter.after t.m_slo;
+  (match t.flight with
+  | None -> ()
+  | Some fl ->
+    Perf.Meter.before t.m_rec;
+    Engine.Recorder.record
+      fl.recorders.(t.cur_link)
+      ~time:(Engine.Sim.now t.sim)
+      ~kind:
+        (if d.Sched.Packet.uid = t.cur_uid then Engine.Recorder.Drop
+         else Engine.Recorder.Evict)
+      ~uid:d.Sched.Packet.uid ~link:t.cur_link ~tenant:d.Sched.Packet.tenant
+      ~flow:d.Sched.Packet.flow ~rank_before:(-1) ~rank:d.Sched.Packet.rank;
+    Perf.Meter.after t.m_rec);
+  match t.ins with
+  | None -> ()
+  | Some ins ->
+    Tel.Counter.incr ins.drop_total;
+    Tel.Counter.incr ins.port_drop.(t.cur_link);
+    Tel.Counter.incr (tenant_counters ins d.Sched.Packet.tenant).t_drop;
+    if Tel.tracing ins.tel then
+      Tel.event ins.tel ~time:(Engine.Sim.now t.sim) ~kind:"drop"
+        ~uid:d.Sched.Packet.uid ~link:t.cur_link ~tenant:d.Sched.Packet.tenant
+        ~flow:d.Sched.Packet.flow ~rank:d.Sched.Packet.rank ()
 
 let refill t bucket =
   let now = Engine.Sim.now t.sim in
@@ -237,10 +297,9 @@ let rec pump t port =
               let wait =
                 ((need -. bucket.tokens) /. bucket.config.shaper_rate) +. 1e-9
               in
-              ignore
-                (Engine.Sim.schedule_after t.sim ~delay:wait (fun () ->
-                     bucket.wakeup_pending <- false;
-                     pump t port))
+              Engine.Sim.schedule_after_ t.sim ~delay:wait (fun () ->
+                  bucket.wakeup_pending <- false;
+                  pump t port)
             end;
             false
           end)
@@ -267,25 +326,27 @@ let rec pump t port =
          order and port-arrival order legitimately disagree, from
          counting against a conforming scheduler. *)
       let deq_now = Engine.Sim.now t.sim in
-      (match port.last_deq with
-      | Some (rank, uid, enq_at, deq_at)
-        when p.Sched.Packet.rank = rank
-             && p.Sched.Packet.uid < uid
-             && p.Sched.Packet.enqueued_at < enq_at
-             && p.Sched.Packet.enqueued_at < deq_at ->
+      let enq_bits =
+        Int64.to_int (Int64.bits_of_float p.Sched.Packet.enqueued_at)
+      in
+      if
+        port.last_uid >= 0
+        && p.Sched.Packet.rank = port.last_rank
+        && p.Sched.Packet.uid < port.last_uid
+        && enq_bits < port.last_enq_bits
+        && enq_bits < port.last_deq_bits
+      then begin
         (match t.ins with
         | Some ins -> Tel.Counter.incr ins.tie_total
         | None -> ());
         Perf.Meter.before t.m_slo;
         t.on_tie_inversion p;
         Perf.Meter.after t.m_slo
-      | _ -> ());
-      port.last_deq <-
-        Some
-          ( p.Sched.Packet.rank,
-            p.Sched.Packet.uid,
-            p.Sched.Packet.enqueued_at,
-            deq_now );
+      end;
+      port.last_rank <- p.Sched.Packet.rank;
+      port.last_uid <- p.Sched.Packet.uid;
+      port.last_enq_bits <- enq_bits;
+      port.last_deq_bits <- Int64.to_int (Int64.bits_of_float deq_now);
       Perf.Meter.before t.m_slo;
       t.on_dequeue p;
       Perf.Meter.after t.m_slo;
@@ -317,13 +378,9 @@ let rec pump t port =
             ~rank:p.Sched.Packet.rank ());
       let tx_time = 8. *. float_of_int p.Sched.Packet.size /. port.link.Topology.rate in
       let arrival = tx_time +. port.link.Topology.delay in
-      ignore
-        (Engine.Sim.schedule_after t.sim ~delay:tx_time (fun () ->
-             port.busy <- false;
-             pump t port));
-      ignore
-        (Engine.Sim.schedule_after t.sim ~delay:arrival (fun () ->
-             receive t port.link.Topology.dst p));
+      Engine.Sim.schedule_after_ t.sim ~delay:tx_time port.tx_done;
+      Engine.Sim.schedule_after_ t.sim ~delay:arrival (fun () ->
+          receive t port.link.Topology.dst p);
       Perf.Meter.after t.m_deq
   end
 
@@ -339,17 +396,13 @@ and enqueue t port p =
   t.on_enqueue p;
   Perf.Meter.after t.m_slo;
   p.Sched.Packet.enqueued_at <- Engine.Sim.now t.sim;
-  let dropped = port.qdisc.Sched.Qdisc.enqueue p in
-  (match dropped with
-  | [] -> ()
-  | dropped ->
-    Perf.Meter.before t.m_slo;
-    List.iter t.on_drop dropped;
-    Perf.Meter.after t.m_slo);
+  let link_id = port.link.Topology.id in
+  (* Admission-side flight records and telemetry are written before the
+     qdisc call so the drop callback's Drop/Evict entries land after the
+     Enqueue entry, preserving the ring's event order. *)
   (match t.flight with
   | None -> ()
   | Some fl ->
-    let link_id = port.link.Topology.id in
     let now = Engine.Sim.now t.sim in
     let rec_ = fl.recorders.(link_id) in
     Perf.Meter.before t.m_rec;
@@ -361,40 +414,16 @@ and enqueue t port p =
     Engine.Recorder.record rec_ ~time:now ~kind:Engine.Recorder.Enqueue
       ~uid:p.Sched.Packet.uid ~link:link_id ~tenant:p.Sched.Packet.tenant
       ~flow:p.Sched.Packet.flow ~rank_before:(-1) ~rank:p.Sched.Packet.rank;
-    (match dropped with
-    | [] -> ()
-    | dropped ->
-      List.iter
-        (fun (d : Sched.Packet.t) ->
-          Engine.Recorder.record rec_ ~time:now
-            ~kind:
-              (if d.Sched.Packet.uid = p.Sched.Packet.uid then
-                 Engine.Recorder.Drop
-               else Engine.Recorder.Evict)
-            ~uid:d.Sched.Packet.uid ~link:link_id
-            ~tenant:d.Sched.Packet.tenant ~flow:d.Sched.Packet.flow
-            ~rank_before:(-1) ~rank:d.Sched.Packet.rank)
-        dropped);
-    Perf.Meter.after t.m_rec;
-    if
-      Engine.Recorder.Trigger.observe fl.triggers.(link_id)
-        ~dropped:(dropped <> [])
-    then begin
-      fl.anomalies <- fl.anomalies + 1;
-      fl.on_anomaly ~link_id rec_
-    end);
+    Perf.Meter.after t.m_rec);
   (match t.ins with
   | None -> ()
   | Some ins ->
-    let link_id = port.link.Topology.id in
     let tenant = p.Sched.Packet.tenant in
-    let now = Engine.Sim.now t.sim in
     Tel.Counter.incr ins.enq_total;
     Tel.Counter.incr ins.port_enq.(link_id);
     Tel.Counter.incr (tenant_counters ins tenant).t_enq;
-    Tel.Histogram.observe ins.depth
-      (float_of_int (port.qdisc.Sched.Qdisc.length ()));
     if Tel.tracing ins.tel then begin
+      let now = Engine.Sim.now t.sim in
       if t.has_preprocess then
         Tel.event ins.tel ~time:now ~kind:"preprocess" ~uid:p.Sched.Packet.uid
           ~link:link_id ~tenant ~flow:p.Sched.Packet.flow
@@ -402,17 +431,26 @@ and enqueue t port p =
       Tel.event ins.tel ~time:now ~kind:"enqueue" ~uid:p.Sched.Packet.uid
         ~link:link_id ~tenant ~flow:p.Sched.Packet.flow
         ~rank:p.Sched.Packet.rank ()
-    end;
-    List.iter
-      (fun (d : Sched.Packet.t) ->
-        Tel.Counter.incr ins.drop_total;
-        Tel.Counter.incr ins.port_drop.(link_id);
-        Tel.Counter.incr (tenant_counters ins d.Sched.Packet.tenant).t_drop;
-        if Tel.tracing ins.tel then
-          Tel.event ins.tel ~time:now ~kind:"drop" ~uid:d.Sched.Packet.uid
-            ~link:link_id ~tenant:d.Sched.Packet.tenant
-            ~flow:d.Sched.Packet.flow ~rank:d.Sched.Packet.rank ())
-      dropped);
+    end);
+  t.cur_uid <- p.Sched.Packet.uid;
+  t.cur_link <- link_id;
+  t.dropped_any <- false;
+  port.qdisc.Sched.Qdisc.enqueue_drop p t.drop_cb;
+  (match t.flight with
+  | None -> ()
+  | Some fl ->
+    if
+      Engine.Recorder.Trigger.observe fl.triggers.(link_id)
+        ~dropped:t.dropped_any
+    then begin
+      fl.anomalies <- fl.anomalies + 1;
+      fl.on_anomaly ~link_id fl.recorders.(link_id)
+    end);
+  (match t.ins with
+  | None -> ()
+  | Some ins ->
+    Tel.Histogram.observe ins.depth
+      (float_of_int (port.qdisc.Sched.Qdisc.length ())));
   Perf.Meter.after t.m_enq;
   pump t port
 
@@ -425,13 +463,28 @@ and forward t node p =
 
 and receive t node p =
   if node = p.Sched.Packet.dst then t.deliver p
-  else begin
-    match Topology.kind t.topo node with
-    | Topology.Switch -> forward t node p
-    | Topology.Host ->
-      (* A host is never a transit node in sane topologies. *)
-      invalid_arg "Net.receive: packet transited a host"
-  end
+  else if node >= t.num_hosts then forward t node p
+  else
+    (* A host is never a transit node in sane topologies. *)
+    invalid_arg "Net.receive: packet transited a host"
+
+let create ~sim ~topo ~routing ~make_qdisc ?shaper_of ?preprocess ?on_enqueue
+    ?on_dequeue ?on_drop ?on_tie_inversion ?telemetry ?profiler ?flight
+    ?on_anomaly ?meters ~deliver () =
+  let t =
+    build ~sim ~topo ~routing ~make_qdisc ?shaper_of ?preprocess ?on_enqueue
+      ?on_dequeue ?on_drop ?on_tie_inversion ?telemetry ?profiler ?flight
+      ?on_anomaly ?meters ~deliver ()
+  in
+  t.drop_cb <- handle_drop t;
+  Array.iter
+    (fun port ->
+      port.tx_done <-
+        (fun () ->
+          port.busy <- false;
+          pump t port))
+    t.ports;
+  t
 
 let inject t p =
   let src = p.Sched.Packet.src in

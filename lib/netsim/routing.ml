@@ -4,13 +4,15 @@ type t = {
   candidates : Topology.link array array array;
 }
 
-(* Deterministic 64-bit mix for per-flow ECMP hashing: must differ across
-   nodes so consecutive hops don't all make the same choice. *)
+(* Deterministic splitmix-style mix for per-flow ECMP hashing: must differ
+   across nodes so consecutive hops don't all make the same choice.  Native
+   int arithmetic (wrapping mod 2^63) — an Int64 version boxes three
+   intermediates per routed packet. *)
 let hash_flow ~node ~flow =
-  let z = Int64.of_int (((flow * 0x9E3779B9) lxor (node * 0x85EBCA6B)) land max_int) in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.logxor z (Int64.shift_right_logical z 27) in
-  Int64.to_int (Int64.shift_right_logical z 8)
+  let z = (flow * 0x9E3779B9) lxor (node * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 27) in
+  (z lsr 8) land max_int
 
 let compute topo =
   let n = Topology.num_nodes topo in

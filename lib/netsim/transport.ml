@@ -1,5 +1,3 @@
-module IntSet = Set.Make (Int)
-
 type flow_result = {
   flow_id : int;
   tenant : int;
@@ -31,13 +29,21 @@ type wflow = {
   started_at : float;
   on_complete : flow_result -> unit;
   mutable next_offset : int;
-  mutable acked : IntSet.t;
   mutable acked_bytes : int;
-  outstanding : (int, float) Hashtbl.t; (* seq -> last send time *)
-  mutable retransmit : IntSet.t;
+  (* Per-segment state, indexed by [seq / mtu] — a flow's seqs are the
+     dense MTU multiples [0, mtu, 2*mtu, ...], so flat arrays replace
+     the sets and hash tables a sparse seq space would need.  Every
+     per-packet update is then an O(1) store with no allocation and no
+     write barrier ([sent_at] is an unboxed float array; nan = not
+     outstanding). *)
+  acked : Bytes.t;
+  received : Bytes.t;
+  sent_at : float array;
+  mutable outstanding : int; (* segments with a non-nan [sent_at] *)
+  retx : Bytes.t; (* segments queued for retransmission *)
+  mutable retx_count : int;
+  mutable retx_min : int; (* lower bound on the lowest set [retx] bit *)
   mutable rto_handle : Engine.Sim.handle option;
-  (* Receiver state. *)
-  mutable received : IntSet.t;
   mutable received_bytes : int;
   mutable completed : bool;
 }
@@ -49,13 +55,25 @@ type flow = Windowed of wflow | Cbr of cbr
 type t = {
   sim : Engine.Sim.t;
   mutable net : Net.t option;
-  flows : (int, flow) Hashtbl.t;
+  (* Flow ids are dense (allocated by [fresh_flow_id]), so the registry
+     is a growable array: delivery dispatch is one bounds check and one
+     load per packet instead of a hash + structural key compare. *)
+  mutable flows : flow option array;
   mutable next_flow_id : int;
   mutable active : int;
 }
 
 let create ~sim () =
-  { sim; net = None; flows = Hashtbl.create 256; next_flow_id = 0; active = 0 }
+  { sim; net = None; flows = Array.make 256 None; next_flow_id = 0; active = 0 }
+
+let register t id fl =
+  let n = Array.length t.flows in
+  if id >= n then begin
+    let bigger = Array.make (max (2 * n) (id + 1)) None in
+    Array.blit t.flows 0 bigger 0 n;
+    t.flows <- bigger
+  end;
+  t.flows.(id) <- Some fl
 
 let attach t net =
   match t.net with
@@ -78,7 +96,29 @@ let active_flows t = t.active
 (* Windowed transport                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let payload_at f seq = min f.mtu (f.size - seq)
+let payload_at f seq =
+  let rest = f.size - seq in
+  if f.mtu < rest then f.mtu else rest
+let num_segments ~size ~mtu = (size + mtu - 1) / mtu
+
+let retx_add f seg =
+  if Bytes.unsafe_get f.retx seg = '\000' then begin
+    Bytes.unsafe_set f.retx seg '\001';
+    f.retx_count <- f.retx_count + 1;
+    if seg < f.retx_min then f.retx_min <- seg
+  end
+
+(* Lowest segment queued for retransmission; caller checks the count.
+   [retx_min] only ever lags the true minimum downward, so the scan
+   resumes where the last take left off (amortized O(1)). *)
+let retx_take_min f =
+  let n = Bytes.length f.retx in
+  let seg = ref f.retx_min in
+  while !seg < n && Bytes.unsafe_get f.retx !seg = '\000' do incr seg done;
+  Bytes.unsafe_set f.retx !seg '\000';
+  f.retx_count <- f.retx_count - 1;
+  f.retx_min <- !seg;
+  !seg * f.mtu
 
 let send_data t f seq =
   let now = Engine.Sim.now t.sim in
@@ -92,47 +132,43 @@ let send_data t f seq =
       ()
   in
   ignore (Sched.Ranker.tag f.ranker ~now p);
-  Hashtbl.replace f.outstanding seq now;
+  let seg = seq / f.mtu in
+  if Float.is_nan f.sent_at.(seg) then f.outstanding <- f.outstanding + 1;
+  f.sent_at.(seg) <- now;
   Net.inject (net t) p
 
 let rec arm_rto t f =
   match f.rto_handle with
   | Some _ -> ()
   | None ->
-    if Hashtbl.length f.outstanding > 0 then
+    if f.outstanding > 0 then
       f.rto_handle <-
         Some (Engine.Sim.schedule_after t.sim ~delay:f.rto (fun () -> on_rto t f))
 
 and on_rto t f =
   f.rto_handle <- None;
   let now = Engine.Sim.now t.sim in
-  let expired =
-    Hashtbl.fold
-      (fun seq sent acc -> if now -. sent >= f.rto -. 1e-12 then seq :: acc else acc)
-      f.outstanding []
-  in
-  List.iter
-    (fun seq ->
-      Hashtbl.remove f.outstanding seq;
-      f.retransmit <- IntSet.add seq f.retransmit)
-    expired;
+  for seg = 0 to Array.length f.sent_at - 1 do
+    let sent = f.sent_at.(seg) in
+    if (not (Float.is_nan sent)) && now -. sent >= f.rto -. 1e-12 then begin
+      f.sent_at.(seg) <- Float.nan;
+      f.outstanding <- f.outstanding - 1;
+      retx_add f seg
+    end
+  done;
   fill t f;
   arm_rto t f
 
 and fill t f =
-  if Hashtbl.length f.outstanding < f.window then begin
+  if f.outstanding < f.window then begin
     let seq =
-      match IntSet.min_elt_opt f.retransmit with
-      | Some seq ->
-        f.retransmit <- IntSet.remove seq f.retransmit;
+      if f.retx_count > 0 then Some (retx_take_min f)
+      else if f.next_offset < f.size then begin
+        let seq = f.next_offset in
+        f.next_offset <- seq + payload_at f seq;
         Some seq
-      | None ->
-        if f.next_offset < f.size then begin
-          let seq = f.next_offset in
-          f.next_offset <- seq + payload_at f seq;
-          Some seq
-        end
-        else None
+      end
+      else None
     in
     match seq with
     | None -> ()
@@ -150,6 +186,7 @@ let start_flow t ~tenant ~ranker ~src ~dst ~size ?(window = 12) ?(rto = 1e-3)
   if mtu_payload <= 0 then invalid_arg "Transport.start_flow: mtu <= 0";
   if src = dst then invalid_arg "Transport.start_flow: src = dst";
   let id = fresh_flow_id t in
+  let nseg = num_segments ~size ~mtu:mtu_payload in
   let f =
     {
       id;
@@ -165,17 +202,20 @@ let start_flow t ~tenant ~ranker ~src ~dst ~size ?(window = 12) ?(rto = 1e-3)
       started_at = Engine.Sim.now t.sim;
       on_complete;
       next_offset = 0;
-      acked = IntSet.empty;
+      acked = Bytes.make nseg '\000';
       acked_bytes = 0;
-      outstanding = Hashtbl.create 16;
-      retransmit = IntSet.empty;
+      received = Bytes.make nseg '\000';
+      sent_at = Array.make nseg Float.nan;
+      outstanding = 0;
+      retx = Bytes.make nseg '\000';
+      retx_count = 0;
+      retx_min = 0;
       rto_handle = None;
-      received = IntSet.empty;
       received_bytes = 0;
       completed = false;
     }
   in
-  Hashtbl.replace t.flows id (Windowed f);
+  register t id (Windowed f);
   t.active <- t.active + 1;
   fill t f;
   id
@@ -192,9 +232,9 @@ let send_ack t f (data : Sched.Packet.t) =
   Net.inject (net t) ack
 
 let receive_data t f (p : Sched.Packet.t) =
-  let seq = p.Sched.Packet.seq in
-  if not (IntSet.mem seq f.received) then begin
-    f.received <- IntSet.add seq f.received;
+  let seg = p.Sched.Packet.seq / f.mtu in
+  if Bytes.unsafe_get f.received seg = '\000' then begin
+    Bytes.unsafe_set f.received seg '\001';
     f.received_bytes <- f.received_bytes + p.Sched.Packet.payload
   end;
   if (not f.completed) && f.received_bytes >= f.size then begin
@@ -213,10 +253,17 @@ let receive_data t f (p : Sched.Packet.t) =
 
 let receive_ack t f (p : Sched.Packet.t) =
   let seq = p.Sched.Packet.seq in
-  Hashtbl.remove f.outstanding seq;
-  f.retransmit <- IntSet.remove seq f.retransmit;
-  if not (IntSet.mem seq f.acked) then begin
-    f.acked <- IntSet.add seq f.acked;
+  let seg = seq / f.mtu in
+  if not (Float.is_nan f.sent_at.(seg)) then begin
+    f.sent_at.(seg) <- Float.nan;
+    f.outstanding <- f.outstanding - 1
+  end;
+  if Bytes.unsafe_get f.retx seg = '\001' then begin
+    Bytes.unsafe_set f.retx seg '\000';
+    f.retx_count <- f.retx_count - 1
+  end;
+  if Bytes.unsafe_get f.acked seg = '\000' then begin
+    Bytes.unsafe_set f.acked seg '\001';
     f.acked_bytes <- f.acked_bytes + payload_at f seq
   end;
   if f.acked_bytes >= f.size then begin
@@ -243,7 +290,7 @@ let start_cbr t ~tenant ~ranker ~src ~dst ~rate ?(mtu_payload = 1460)
   let stats =
     { sent = 0; delivered = 0; deadline_met = 0; delay = Engine.Stats.create ~keep_samples:false () }
   in
-  Hashtbl.replace t.flows id (Cbr { stats });
+  register t id (Cbr { stats });
   let wire = mtu_payload + Sched.Packet.header_bytes in
   let mean_gap = 8. *. float_of_int wire /. rate in
   let seq = ref 0 in
@@ -265,7 +312,7 @@ let start_cbr t ~tenant ~ranker ~src ~dst ~rate ?(mtu_payload = 1460)
         | None -> mean_gap
         | Some rng -> Engine.Rng.exponential rng ~mean:mean_gap
       in
-      ignore (Engine.Sim.schedule_after t.sim ~delay:gap send_one)
+      Engine.Sim.schedule_after_ t.sim ~delay:gap send_one
     end
   in
   send_one ();
@@ -283,13 +330,15 @@ let receive_cbr t c (p : Sched.Packet.t) =
 (* ------------------------------------------------------------------ *)
 
 let deliver t (p : Sched.Packet.t) =
-  match Hashtbl.find_opt t.flows p.Sched.Packet.flow with
-  | None -> () (* stale packet of a forgotten flow *)
-  | Some (Windowed f) -> (
-    match p.Sched.Packet.kind with
-    | Sched.Packet.Data -> receive_data t f p
-    | Sched.Packet.Ack -> receive_ack t f p)
-  | Some (Cbr c) -> (
-    match p.Sched.Packet.kind with
-    | Sched.Packet.Data -> receive_cbr t c p
-    | Sched.Packet.Ack -> ())
+  let id = p.Sched.Packet.flow in
+  if id >= 0 && id < Array.length t.flows then
+    match t.flows.(id) with
+    | None -> () (* stale packet of a forgotten flow *)
+    | Some (Windowed f) -> (
+      match p.Sched.Packet.kind with
+      | Sched.Packet.Data -> receive_data t f p
+      | Sched.Packet.Ack -> receive_ack t f p)
+    | Some (Cbr c) -> (
+      match p.Sched.Packet.kind with
+      | Sched.Packet.Data -> receive_cbr t c p
+      | Sched.Packet.Ack -> ())

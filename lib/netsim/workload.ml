@@ -48,20 +48,19 @@ let poisson_open_loop ~sim ~rng ~transport ~tenant ~ranker ~num_hosts ~load
   let acc = { flows_started = 0; bytes_offered = 0 } in
   let rec next_arrival () =
     let gap = Engine.Rng.exponential rng ~mean:mean_gap in
-    ignore
-      (Engine.Sim.schedule_after sim ~delay:gap (fun () ->
-           if Engine.Sim.now sim < until then begin
-             let src, dst = Engine.Rng.pair_distinct rng ~n:num_hosts in
-             let size =
-               max 1 (int_of_float (Engine.Rng.Empirical.sample dist rng))
-             in
-             acc.flows_started <- acc.flows_started + 1;
-             acc.bytes_offered <- acc.bytes_offered + size;
-             ignore
-               (Transport.start_flow transport ~tenant ~ranker ~src ~dst ~size
-                  ?window ?rto ~on_complete ());
-             next_arrival ()
-           end))
+    Engine.Sim.schedule_after_ sim ~delay:gap (fun () ->
+        if Engine.Sim.now sim < until then begin
+          let src, dst = Engine.Rng.pair_distinct rng ~n:num_hosts in
+          let size =
+            max 1 (int_of_float (Engine.Rng.Empirical.sample dist rng))
+          in
+          acc.flows_started <- acc.flows_started + 1;
+          acc.bytes_offered <- acc.bytes_offered + size;
+          ignore
+            (Transport.start_flow transport ~tenant ~ranker ~src ~dst ~size
+               ?window ?rto ~on_complete ());
+          next_arrival ()
+        end)
   in
   next_arrival ();
   acc
@@ -85,15 +84,13 @@ let incast ~sim ~rng ~transport ~tenant ~ranker ~num_hosts ~fanin
   in
   Engine.Rng.shuffle rng candidates;
   let senders = Array.sub candidates 0 fanin in
-  ignore
-    (Engine.Sim.schedule_at sim ~time:at (fun () ->
-         Array.iter
-           (fun src ->
-             ignore
-               (Transport.start_flow transport ~tenant ~ranker ~src
-                  ~dst:receiver ~size:bytes_per_sender ?window ?rto
-                  ~on_complete ()))
-           senders))
+  Engine.Sim.schedule_at_ sim ~time:at (fun () ->
+      Array.iter
+        (fun src ->
+          ignore
+            (Transport.start_flow transport ~tenant ~ranker ~src ~dst:receiver
+               ~size:bytes_per_sender ?window ?rto ~on_complete ()))
+        senders)
 
 let permutation ~sim ~rng ~transport ~tenant ~ranker ~num_hosts
     ~bytes_per_flow ?window ?rto ~at ~on_complete () =
@@ -101,15 +98,14 @@ let permutation ~sim ~rng ~transport ~tenant ~ranker ~num_hosts
   if bytes_per_flow <= 0 then invalid_arg "Workload.permutation: bytes <= 0";
   let targets = Array.init num_hosts Fun.id in
   Engine.Rng.shuffle rng targets;
-  ignore
-    (Engine.Sim.schedule_at sim ~time:at (fun () ->
-         Array.iteri
-           (fun src dst ->
-             if src <> dst then
-               ignore
-                 (Transport.start_flow transport ~tenant ~ranker ~src ~dst
-                    ~size:bytes_per_flow ?window ?rto ~on_complete ()))
-           targets))
+  Engine.Sim.schedule_at_ sim ~time:at (fun () ->
+      Array.iteri
+        (fun src dst ->
+          if src <> dst then
+            ignore
+              (Transport.start_flow transport ~tenant ~ranker ~src ~dst
+                 ~size:bytes_per_flow ?window ?rto ~on_complete ()))
+        targets)
 
 let cbr_tenant ~sim ~rng ~transport ~tenant ~ranker ~num_hosts ~flows ~rate
     ?(deadline_budget = 1e-3) ?(budget_spread = 0.5) ?(jitter = true) ~until

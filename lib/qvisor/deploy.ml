@@ -76,11 +76,17 @@ let queue_bounds_of_plan ~(plan : Synthesizer.plan) ~num_queues =
     Error (Error.Deploy "fewer queues than strict tiers")
   else Ok (queue_bounds ~plan ~spans ~n_tiers ~num_queues)
 
-let instantiate ~plan backend =
+let instantiate ~(plan : Synthesizer.plan) backend =
   let ( let* ) = Result.bind in
   match backend with
   | Ideal_pifo { capacity_pkts } ->
-    Ok (Sched.Pifo_queue.create ~name:"qvisor-pifo" ~capacity_pkts ())
+    (* Bucket_queue is the default exact backend: identical semantics to
+       Pifo_queue with O(1) FFS-indexed operations.  The plan's transformed
+       rank space is bounded by [rank_hi], so the bucket array covers every
+       rank the synthesizer can emit. *)
+    Ok
+      (Sched.Bucket_queue.create ~name:"qvisor-pifo"
+         ~rank_max:plan.Synthesizer.rank_hi ~capacity_pkts ())
   | Sp_bank { num_queues; queue_capacity_pkts } ->
     let* bounds = queue_bounds_of_plan ~plan ~num_queues in
     Ok

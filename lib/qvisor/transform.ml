@@ -27,10 +27,15 @@ let compose f g = match (f, g) with
   | Identity, h | h, Identity -> h
   | _ -> Compose (f, g)
 
+(* Int-specialized clamp: polymorphic [min]/[max] cost a structural-compare
+   call per packet on this path. *)
+let[@inline] iclamp lo hi (r : int) = if r < lo then lo else if r > hi then hi else r
+
 let level_of ~src_lo ~src_hi ~levels r =
-  let r = max src_lo (min src_hi r) in
+  let r = iclamp src_lo src_hi r in
   let width = src_hi - src_lo + 1 in
-  min (levels - 1) ((r - src_lo) * levels / width)
+  let l = (r - src_lo) * levels / width in
+  if l > levels - 1 then levels - 1 else l
 
 let rec apply t r =
   match t with

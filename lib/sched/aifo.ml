@@ -30,7 +30,7 @@ let create ?(name = "aifo") ?window ?(k = 0.1) ~capacity_pkts () =
       float_of_int !below /. float_of_int !filled
     end
   in
-  let enqueue p =
+  let enqueue_drop p on_drop =
     let r = p.Packet.rank in
     let occupancy = Queue.length q in
     let headroom =
@@ -41,12 +41,11 @@ let create ?(name = "aifo") ?window ?(k = 0.1) ~capacity_pkts () =
     observe r;
     if admit then begin
       Queue.push p q;
-      bytes := !bytes + p.Packet.size;
-      []
+      bytes := !bytes + p.Packet.size
     end
     else begin
       incr drops;
-      [ p ]
+      on_drop p
     end
   in
   let dequeue () =
@@ -56,12 +55,8 @@ let create ?(name = "aifo") ?window ?(k = 0.1) ~capacity_pkts () =
       bytes := !bytes - p.Packet.size;
       Some p
   in
-  {
-    Qdisc.name;
-    enqueue;
-    dequeue;
-    peek = (fun () -> Queue.peek_opt q);
-    length = (fun () -> Queue.length q);
-    bytes = (fun () -> !bytes);
-    drops = (fun () -> !drops);
-  }
+  Qdisc.make ~name ~enqueue_drop ~dequeue
+    ~peek:(fun () -> Queue.peek_opt q)
+    ~length:(fun () -> Queue.length q)
+    ~bytes:(fun () -> !bytes)
+    ~drops:(fun () -> !drops)

@@ -1,3 +1,9 @@
+(* Ring of FIFO buckets covering [day, day + num_buckets * width); ranks at
+   or beyond the horizon park in a sorted overflow stage (keyed by
+   (rank, arrival seq)) and refill the ring as the day advances.  This
+   removes the old wrap-around epoch inversion where a far-future rank
+   aliased into the last bucket and could be served behind a later epoch. *)
+
 let create_with_day ?(name = "calendar") ~num_buckets ~bucket_width
     ~capacity_pkts () =
   if num_buckets <= 0 then invalid_arg "Calendar_queue: num_buckets <= 0";
@@ -9,21 +15,41 @@ let create_with_day ?(name = "calendar") ~num_buckets ~bucket_width
   let head = ref 0 in
   let day_rank = ref 0 in
   let count = ref 0 in
+  let over_count = ref 0 in
   let bytes = ref 0 in
   let drops = ref 0 in
-  let enqueue p =
-    if !count >= capacity_pkts then begin
-      incr drops;
-      [ p ]
-    end
-    else begin
-      let offset = max 0 ((p.Packet.rank - !day_rank) / bucket_width) in
-      let slot = min offset (num_buckets - 1) in
-      Queue.push p buckets.((!head + slot) mod num_buckets);
-      incr count;
-      bytes := !bytes + p.Packet.size;
-      []
-    end
+  let seq = ref 0 in
+  (* Sorted ascending by (rank, seq): the refill order.  Far ranks are rare
+     by construction (the ring covers the common case), so a sorted list is
+     adequate. *)
+  let overflow : ((int * int) * Packet.t) list ref = ref [] in
+  let horizon () = !day_rank + (num_buckets * bucket_width) in
+  let ring_push p =
+    (* Pre: p.rank < horizon ().  Ranks below the current day are late and
+       land in today's bucket. *)
+    let offset = max 0 ((p.Packet.rank - !day_rank) / bucket_width) in
+    Queue.push p buckets.((!head + offset) mod num_buckets)
+  in
+  let over_insert p =
+    let key = (p.Packet.rank, !seq) in
+    incr seq;
+    let rec ins = function
+      | [] -> [ (key, p) ]
+      | ((k', _) as hd) :: tl when k' <= key -> hd :: ins tl
+      | rest -> (key, p) :: rest
+    in
+    overflow := ins !overflow;
+    incr over_count
+  in
+  (* Move overflow packets that now fit the ring's horizon into buckets. *)
+  let rec drain_overflow () =
+    match !overflow with
+    | ((r, _), p) :: tl when r < horizon () ->
+      overflow := tl;
+      decr over_count;
+      ring_push p;
+      drain_overflow ()
+    | _ -> ()
   in
   let rec rotate_to_nonempty () =
     if Queue.is_empty buckets.(!head) then begin
@@ -32,10 +58,34 @@ let create_with_day ?(name = "calendar") ~num_buckets ~bucket_width
       rotate_to_nonempty ()
     end
   in
+  (* Position the ring on the next packet to serve.  Pre: count > 0. *)
+  let settle () =
+    drain_overflow ();
+    if !count - !over_count = 0 then begin
+      (* Ring empty but overflow holds packets: jump the day straight to
+         the earliest parked rank's bucket and refill. *)
+      (match !overflow with
+      | ((r, _), _) :: _ -> day_rank := r / bucket_width * bucket_width
+      | [] -> assert false);
+      drain_overflow ()
+    end;
+    rotate_to_nonempty ()
+  in
+  let enqueue_drop p on_drop =
+    if !count >= capacity_pkts then begin
+      incr drops;
+      on_drop p
+    end
+    else begin
+      incr count;
+      bytes := !bytes + p.Packet.size;
+      if p.Packet.rank < horizon () then ring_push p else over_insert p
+    end
+  in
   let dequeue () =
     if !count = 0 then None
     else begin
-      rotate_to_nonempty ();
+      settle ();
       let p = Queue.pop buckets.(!head) in
       decr count;
       bytes := !bytes - p.Packet.size;
@@ -45,20 +95,15 @@ let create_with_day ?(name = "calendar") ~num_buckets ~bucket_width
   let peek () =
     if !count = 0 then None
     else begin
-      rotate_to_nonempty ();
+      settle ();
       Queue.peek_opt buckets.(!head)
     end
   in
   let qdisc =
-    {
-      Qdisc.name;
-      enqueue;
-      dequeue;
-      peek;
-      length = (fun () -> !count);
-      bytes = (fun () -> !bytes);
-      drops = (fun () -> !drops);
-    }
+    Qdisc.make ~name ~enqueue_drop ~dequeue ~peek
+      ~length:(fun () -> !count)
+      ~bytes:(fun () -> !bytes)
+      ~drops:(fun () -> !drops)
   in
   (qdisc, fun () -> !day_rank)
 

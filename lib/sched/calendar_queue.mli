@@ -3,11 +3,13 @@
     buckets that rotate as time (rank space) advances.
 
     A packet of rank [r] lands in the bucket covering
-    [\[r / width\]] {e days} from now, clamped to the ring's horizon.
-    Dequeue serves the current day until it is empty, then rotates.
-    Unlike a PIFO, ranks within one bucket are served FIFO, and a rank
-    further than [num_buckets * width] away aliases into the last bucket
-    — the fidelity/cost trade-off programmable calendar queues make. *)
+    [\[r / width\]] {e days} from now.  Dequeue serves the current day
+    until it is empty, then rotates.  Unlike a PIFO, ranks within one
+    bucket are served FIFO — the fidelity/cost trade-off programmable
+    calendar queues make.  A rank further than [num_buckets * width]
+    away parks in a sorted overflow stage and refills the ring as the
+    day advances, so a far-future rank is never served ahead of a nearer
+    one (the former wrap-around epoch inversion). *)
 
 val create :
   ?name:string ->

@@ -22,17 +22,16 @@ let create ?(name = "drr-bank") ?weights ~num_queues ~queue_capacity_pkts
   let count = ref 0 in
   let bytes = ref 0 in
   let drops = ref 0 in
-  let enqueue p =
+  let enqueue_drop p on_drop =
     let i = max 0 (min (num_queues - 1) (classify p)) in
     if Queue.length queues.(i) >= queue_capacity_pkts then begin
       incr drops;
-      [ p ]
+      on_drop p
     end
     else begin
       Queue.push p queues.(i);
       incr count;
-      bytes := !bytes + p.Packet.size;
-      []
+      bytes := !bytes + p.Packet.size
     end
   in
   let advance () =
@@ -90,12 +89,7 @@ let create ?(name = "drr-bank") ?weights ~num_queues ~queue_capacity_pkts
       find !current 0
     end
   in
-  {
-    Qdisc.name;
-    enqueue;
-    dequeue;
-    peek;
-    length = (fun () -> !count);
-    bytes = (fun () -> !bytes);
-    drops = (fun () -> !drops);
-  }
+  Qdisc.make ~name ~enqueue_drop ~dequeue ~peek
+    ~length:(fun () -> !count)
+    ~bytes:(fun () -> !bytes)
+    ~drops:(fun () -> !drops)

@@ -3,15 +3,14 @@ let create ?(name = "fifo") ~capacity_pkts () =
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
   let drops = ref 0 in
-  let enqueue p =
+  let enqueue_drop p on_drop =
     if Queue.length q >= capacity_pkts then begin
       incr drops;
-      [ p ]
+      on_drop p
     end
     else begin
       Queue.push p q;
-      bytes := !bytes + p.Packet.size;
-      []
+      bytes := !bytes + p.Packet.size
     end
   in
   let dequeue () =
@@ -21,12 +20,8 @@ let create ?(name = "fifo") ~capacity_pkts () =
       bytes := !bytes - p.Packet.size;
       Some p
   in
-  {
-    Qdisc.name;
-    enqueue;
-    dequeue;
-    peek = (fun () -> Queue.peek_opt q);
-    length = (fun () -> Queue.length q);
-    bytes = (fun () -> !bytes);
-    drops = (fun () -> !drops);
-  }
+  Qdisc.make ~name ~enqueue_drop ~dequeue
+    ~peek:(fun () -> Queue.peek_opt q)
+    ~length:(fun () -> Queue.length q)
+    ~bytes:(fun () -> !bytes)
+    ~drops:(fun () -> !drops)

@@ -29,23 +29,20 @@ let create ?(name = "pifo") ~capacity_pkts () =
     decr count;
     bytes := !bytes - p.Packet.size
   in
-  let enqueue p =
-    if !count < capacity_pkts then begin
-      insert p;
-      []
-    end
+  let enqueue_drop p on_drop =
+    if !count < capacity_pkts then insert p
     else begin
       let (worst_key, worst) = PMap.max_binding !store in
       if p.Packet.rank >= worst.Packet.rank then begin
         (* The arrival is no better than the current worst: tail-drop it. *)
         incr drops;
-        [ p ]
+        on_drop p
       end
       else begin
         remove worst_key worst;
         insert p;
         incr drops;
-        [ worst ]
+        on_drop worst
       end
     end
   in
@@ -57,12 +54,7 @@ let create ?(name = "pifo") ~capacity_pkts () =
       Some p
   in
   let peek () = Option.map snd (PMap.min_binding_opt !store) in
-  {
-    Qdisc.name;
-    enqueue;
-    dequeue;
-    peek;
-    length = (fun () -> !count);
-    bytes = (fun () -> !bytes);
-    drops = (fun () -> !drops);
-  }
+  Qdisc.make ~name ~enqueue_drop ~dequeue ~peek
+    ~length:(fun () -> !count)
+    ~bytes:(fun () -> !bytes)
+    ~drops:(fun () -> !drops)

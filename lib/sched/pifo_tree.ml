@@ -131,10 +131,10 @@ let to_qdisc ?(name = "pifo-tree") ~classify ~capacity_pkts tree =
   let count = ref 0 in
   let bytes = ref 0 in
   let drops = ref 0 in
-  let enqueue (p : Packet.t) =
+  let enqueue_drop (p : Packet.t) on_drop =
     if !count >= capacity_pkts then begin
       incr drops;
-      [ p ]
+      on_drop p
     end
     else begin
       let leaf_index = max 0 (min (leaves - 1) (classify p)) in
@@ -158,8 +158,7 @@ let to_qdisc ?(name = "pifo-tree") ~classify ~capacity_pkts tree =
       | CLeaf l -> mini_push l.pifo ~rank:(l.rank_of p) p
       | CInner _ -> assert false);
       incr count;
-      bytes := !bytes + p.Packet.size;
-      []
+      bytes := !bytes + p.Packet.size
     end
   in
   let dequeue () =
@@ -182,12 +181,7 @@ let to_qdisc ?(name = "pifo-tree") ~classify ~capacity_pkts tree =
     in
     peek_node root
   in
-  {
-    Qdisc.name;
-    enqueue;
-    dequeue;
-    peek;
-    length = (fun () -> !count);
-    bytes = (fun () -> !bytes);
-    drops = (fun () -> !drops);
-  }
+  Qdisc.make ~name ~enqueue_drop ~dequeue ~peek
+    ~length:(fun () -> !count)
+    ~bytes:(fun () -> !bytes)
+    ~drops:(fun () -> !drops)

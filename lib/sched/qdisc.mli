@@ -3,15 +3,30 @@
     A discipline is a record of closures over hidden state.  This lets a
     switch port swap its discipline at runtime (needed for QVISOR's runtime
     re-synthesis experiments) and lets heterogeneous banks mix disciplines,
-    which a functor-based encoding would make awkward. *)
+    which a functor-based encoding would make awkward.
+
+    The hot-path entry point is {!t.enqueue_drop}, which reports dropped
+    packets through a caller-supplied callback instead of allocating a
+    [Packet.t list] per enqueue.  The list-returning {!t.enqueue} is derived
+    from it by {!make} and kept for compatibility (tests, conformance
+    replay, examples). *)
 
 type t = {
   name : string;
+  enqueue_drop : Packet.t -> (Packet.t -> unit) -> unit;
+      (** [enqueue_drop p on_drop] offers packet [p] and calls [on_drop d]
+          once per packet dropped by the operation — possibly the offered
+          packet itself (tail drop), possibly queued packets evicted to
+          make room (PIFO worst-rank eviction), or not at all when
+          everything fit.  The callback runs synchronously, before
+          [enqueue_drop] returns, and must not re-enter the discipline.
+          This is the allocation-free hot path: no list is built. *)
   enqueue : Packet.t -> Packet.t list;
       (** Offer a packet.  Returns the packets dropped by the operation —
           possibly the offered packet itself (tail drop), possibly queued
           packets evicted to make room (PIFO worst-rank eviction), or [[]]
-          when everything fit. *)
+          when everything fit.  Derived from {!t.enqueue_drop} by {!make};
+          prefer [enqueue_drop] on hot paths. *)
   dequeue : unit -> Packet.t option;
       (** Remove the packet the discipline schedules next.
 
@@ -26,6 +41,9 @@ type t = {
           [qvisor-cli conformance]):
           - [Pifo_queue]: orders by [(rank, uid)] — conformant, and the
             reference the oracle mirrors.
+          - [Bucket_queue]: FFS-indexed per-rank FIFO buckets, so ties
+            serve in arrival order by construction — conformant, exact
+            (fuzzed against the oracle like [Pifo_queue]).
           - [Pifo_tree]: per-node FIFO sequencing — conformant.
           - [Fifo_queue], [Sp_bank], [Drr_bank], [Aifo]: FIFO within each
             internal queue — conformant among packets mapped to the same
@@ -34,14 +52,29 @@ type t = {
             push-down, so equal-rank FIFO holds only within a queue; this
             is inherent to the SP-PIFO mechanism and is measured as
             inversions rather than treated as a contract violation.
-          - [Calendar_queue]: FIFO within a bucket; the wrap-around
-            overflow bucket can serve an older epoch's packets behind a
-            newer epoch's — again measured, not exact. *)
+          - [Calendar_queue]: FIFO within a bucket; ranks beyond the
+            ring's horizon now park in a sorted overflow stage and refill
+            the ring as it drains, so an older epoch is never served
+            behind a newer one (the former wrap-around inversion).  The
+            remaining approximation is bucket-width rank coarsening. *)
   peek : unit -> Packet.t option;
   length : unit -> int;  (** queued packets *)
   bytes : unit -> int;  (** queued bytes *)
   drops : unit -> int;  (** cumulative packets dropped by enqueue *)
 }
+
+val make :
+  name:string ->
+  enqueue_drop:(Packet.t -> (Packet.t -> unit) -> unit) ->
+  dequeue:(unit -> Packet.t option) ->
+  peek:(unit -> Packet.t option) ->
+  length:(unit -> int) ->
+  bytes:(unit -> int) ->
+  drops:(unit -> int) ->
+  t
+(** Build a discipline from its hot-path operations.  The list-returning
+    {!t.enqueue} field is derived from [enqueue_drop] (collects the
+    callback's packets in arrival order). *)
 
 val accepted : t -> Packet.t -> Packet.t list -> bool
 (** [accepted q p dropped] is [true] when packet [p] survived the enqueue

@@ -5,17 +5,16 @@ let create ?(name = "sp-bank") ~num_queues ~queue_capacity_pkts ~classify () =
   let bytes = ref 0 in
   let count = ref 0 in
   let drops = ref 0 in
-  let enqueue p =
+  let enqueue_drop p on_drop =
     let i = max 0 (min (num_queues - 1) (classify p)) in
     if Queue.length queues.(i) >= queue_capacity_pkts then begin
       incr drops;
-      [ p ]
+      on_drop p
     end
     else begin
       Queue.push p queues.(i);
       incr count;
-      bytes := !bytes + p.Packet.size;
-      []
+      bytes := !bytes + p.Packet.size
     end
   in
   let first_nonempty () =
@@ -40,15 +39,10 @@ let create ?(name = "sp-bank") ~num_queues ~queue_capacity_pkts ~classify () =
     | None -> None
     | Some i -> Queue.peek_opt queues.(i)
   in
-  {
-    Qdisc.name;
-    enqueue;
-    dequeue;
-    peek;
-    length = (fun () -> !count);
-    bytes = (fun () -> !bytes);
-    drops = (fun () -> !drops);
-  }
+  Qdisc.make ~name ~enqueue_drop ~dequeue ~peek
+    ~length:(fun () -> !count)
+    ~bytes:(fun () -> !bytes)
+    ~drops:(fun () -> !drops)
 
 let queue_of_rank ~bounds r =
   let n = Array.length bounds in

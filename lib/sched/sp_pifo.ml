@@ -6,19 +6,18 @@ let create_with_bounds ?(name = "sp-pifo") ~num_queues ~queue_capacity_pkts () =
   let bytes = ref 0 in
   let count = ref 0 in
   let drops = ref 0 in
-  let push i p =
+  let push i p on_drop =
     if Queue.length queues.(i) >= queue_capacity_pkts then begin
       incr drops;
-      [ p ]
+      on_drop p
     end
     else begin
       Queue.push p queues.(i);
       incr count;
-      bytes := !bytes + p.Packet.size;
-      []
+      bytes := !bytes + p.Packet.size
     end
   in
-  let enqueue p =
+  let enqueue_drop p on_drop =
     let r = p.Packet.rank in
     (* Bottom-up scan: first queue (from lowest priority) whose bound <= r. *)
     let rec scan i =
@@ -28,11 +27,11 @@ let create_with_bounds ?(name = "sp-pifo") ~num_queues ~queue_capacity_pkts () =
         for j = 0 to num_queues - 1 do
           bounds.(j) <- bounds.(j) - cost
         done;
-        push 0 p
+        push 0 p on_drop
       end
       else if bounds.(i) <= r then begin
         bounds.(i) <- r;
-        push i p
+        push i p on_drop
       end
       else scan (i - 1)
     in
@@ -61,15 +60,10 @@ let create_with_bounds ?(name = "sp-pifo") ~num_queues ~queue_capacity_pkts () =
     | Some i -> Queue.peek_opt queues.(i)
   in
   let qdisc =
-    {
-      Qdisc.name;
-      enqueue;
-      dequeue;
-      peek;
-      length = (fun () -> !count);
-      bytes = (fun () -> !bytes);
-      drops = (fun () -> !drops);
-    }
+    Qdisc.make ~name ~enqueue_drop ~dequeue ~peek
+      ~length:(fun () -> !count)
+      ~bytes:(fun () -> !bytes)
+      ~drops:(fun () -> !drops)
   in
   (qdisc, fun () -> Array.copy bounds)
 

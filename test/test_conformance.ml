@@ -81,16 +81,17 @@ let replay_ideal sc =
   ( Conformance.Oracle.run ~plan sc,
     Conformance.Differential.replay ~plan ~qdisc sc )
 
-let test_oracle_matches_pifo_100_cases () =
-  (* The committed self-consistency claim: on 100 seeded cases the oracle
-     and the map-based production PIFO agree byte-for-byte (served order
-     and drop decisions). *)
-  for seed = 0 to 99 do
+let test_oracle_matches_pifo_200_cases () =
+  (* The committed self-consistency claim: on 200 seeded cases the oracle
+     and the production exact backend (the FFS bucket queue, via
+     [Deploy.Ideal_pifo]) agree byte-for-byte (served order and drop
+     decisions). *)
+  for seed = 0 to 199 do
     let sc = scenario_of_seed seed in
     let oracle, rep = replay_ideal sc in
     let v = Conformance.Differential.compare_to_oracle oracle rep in
     if not v.Conformance.Differential.matches then
-      Alcotest.failf "seed %d: oracle vs pifo_queue diverged: %s" seed
+      Alcotest.failf "seed %d: oracle vs bucket queue diverged: %s" seed
         (Option.value v.Conformance.Differential.divergence ~default:"?")
   done
 
@@ -375,8 +376,8 @@ let () =
         ] );
       ( "oracle",
         [
-          Alcotest.test_case "matches pifo_queue on 100 cases" `Quick
-            test_oracle_matches_pifo_100_cases;
+          Alcotest.test_case "matches bucket queue on 200 cases" `Quick
+            test_oracle_matches_pifo_200_cases;
           Alcotest.test_case "serves in (rank, sid) order" `Quick
             test_oracle_served_sorted_after_batch;
         ] );

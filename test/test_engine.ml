@@ -282,6 +282,96 @@ let prop_eq_sorted =
       popped = sorted)
 
 (* ------------------------------------------------------------------ *)
+(* Timer wheel                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The wheel's horizon at the defaults is 2^16 ticks of 1 ns = ~65 us;
+   times comfortably beyond it exercise the overflow heap. *)
+let far = 1e-3
+
+let test_tw_ordering () =
+  let q = Engine.Timer_wheel.create () in
+  Engine.Timer_wheel.push q ~time:3e-6 "c";
+  Engine.Timer_wheel.push q ~time:1e-6 "a";
+  Engine.Timer_wheel.push q ~time:2e-6 "b";
+  let pop () =
+    match Engine.Timer_wheel.pop q with
+    | Some (_, x) -> x
+    | None -> Alcotest.fail "unexpected empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Engine.Timer_wheel.is_empty q)
+
+let test_tw_same_instant_fifo () =
+  (* FIFO among equal times must hold both inside a wheel slot and
+     inside the overflow heap. *)
+  let q = Engine.Timer_wheel.create () in
+  for i = 0 to 9 do
+    Engine.Timer_wheel.push q ~time:1e-6 i
+  done;
+  for i = 10 to 19 do
+    Engine.Timer_wheel.push q ~time:far i
+  done;
+  Alcotest.(check int) "size" 20 (Engine.Timer_wheel.size q);
+  for i = 0 to 19 do
+    match Engine.Timer_wheel.pop q with
+    | Some (_, x) -> Alcotest.(check int) "FIFO among ties" i x
+    | None -> Alcotest.fail "unexpected empty"
+  done
+
+let test_tw_far_future_overflow () =
+  (* Far-future events park in the overflow heap yet still interleave
+     exactly with wheel-resident ones, including events pushed into the
+     wheel after its base has advanced past the original horizon. *)
+  let q = Engine.Timer_wheel.create () in
+  Engine.Timer_wheel.push q ~time:far "far";
+  Engine.Timer_wheel.push q ~time:1e-6 "near";
+  Engine.Timer_wheel.push q ~time:(2. *. far) "farther";
+  let pop () =
+    match Engine.Timer_wheel.pop q with
+    | Some (t, x) -> (t, x)
+    | None -> Alcotest.fail "unexpected empty"
+  in
+  Alcotest.(check string) "wheel first" "near" (snd (pop ()));
+  let t_far, x_far = pop () in
+  Alcotest.(check string) "overflow next" "far" x_far;
+  check_float "overflow time preserved" far t_far;
+  (* The base now sits at [far]; a nearby time lands back in the wheel
+     and must beat the remaining heap entry. *)
+  Engine.Timer_wheel.push q ~time:(far +. 1e-6) "back-in-wheel";
+  Alcotest.(check string) "rewheeled beats heap" "back-in-wheel"
+    (snd (pop ()));
+  Alcotest.(check string) "heap drains last" "farther" (snd (pop ()));
+  Alcotest.(check bool) "empty" true (Engine.Timer_wheel.is_empty q)
+
+let prop_tw_matches_event_queue =
+  (* Differential: on any batch of (possibly tied, possibly
+     beyond-horizon) times, the wheel pops the exact sequence the
+     binary-heap Event_queue does, payloads included. *)
+  QCheck.Test.make ~name:"timer wheel matches event queue" ~count:200
+    QCheck.(list (int_bound 200))
+    (fun grid ->
+      let wheel = Engine.Timer_wheel.create () in
+      let heap = Engine.Event_queue.create () in
+      List.iteri
+        (fun i g ->
+          (* 0..200 us on a 1 us grid: dense ties, both sides of the
+             ~65 us horizon. *)
+          let time = float_of_int g *. 1e-6 in
+          Engine.Timer_wheel.push wheel ~time i;
+          Engine.Event_queue.push heap ~time i)
+        grid;
+      let rec drain pop acc =
+        match pop () with
+        | Some (t, x) -> drain pop ((t, x) :: acc)
+        | None -> List.rev acc
+      in
+      drain (fun () -> Engine.Timer_wheel.pop wheel) []
+      = drain (fun () -> Engine.Event_queue.pop heap) [])
+
+(* ------------------------------------------------------------------ *)
 (* Sim                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -354,6 +444,34 @@ let test_sim_same_time_fifo () =
   Alcotest.(check (list int)) "same-time events fire FIFO"
     [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (List.rev !log)
+
+let test_sim_handle_free_fifo () =
+  (* Handle-free and handled events scheduled for the same instant still
+     fire in scheduling order — the wheel sequences them globally. *)
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    if i mod 2 = 0 then
+      Engine.Sim.schedule_at_ sim ~time:1.0 (fun () -> log := i :: !log)
+    else ignore (Engine.Sim.schedule_at sim ~time:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.Sim.run sim;
+  Alcotest.(check (list int)) "mixed scheduling is FIFO"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_sim_cancel_far_future () =
+  (* A cancellable event far beyond the wheel horizon lives in the
+     overflow heap; cancelling it there must still work. *)
+  let sim = Engine.Sim.create () in
+  let fired = ref [] in
+  Engine.Sim.schedule_at_ sim ~time:1e-6 (fun () -> fired := "near" :: !fired);
+  let h = Engine.Sim.schedule_at sim ~time:1.0 (fun () -> fired := "far" :: !fired) in
+  Engine.Sim.cancel h;
+  Engine.Sim.run sim;
+  Alcotest.(check (list string)) "only the near event fired" [ "near" ] !fired;
+  Alcotest.(check int) "cancelled event not counted" 1
+    (Engine.Sim.events_fired sim)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
@@ -872,6 +990,14 @@ let () =
           Alcotest.test_case "interleaved" `Quick test_eq_interleaved;
           qc prop_eq_sorted;
         ] );
+      ( "timer_wheel",
+        [
+          Alcotest.test_case "ordering" `Quick test_tw_ordering;
+          Alcotest.test_case "same-instant FIFO" `Quick test_tw_same_instant_fifo;
+          Alcotest.test_case "far-future overflow" `Quick
+            test_tw_far_future_overflow;
+          qc prop_tw_matches_event_queue;
+        ] );
       ( "sim",
         [
           Alcotest.test_case "ordering" `Quick test_sim_ordering;
@@ -880,6 +1006,10 @@ let () =
           Alcotest.test_case "run until" `Quick test_sim_until;
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
           Alcotest.test_case "same-time FIFO" `Quick test_sim_same_time_fifo;
+          Alcotest.test_case "handle-free same-time FIFO" `Quick
+            test_sim_handle_free_fifo;
+          Alcotest.test_case "cancel far-future" `Quick
+            test_sim_cancel_far_future;
         ] );
       ( "stats",
         [

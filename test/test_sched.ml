@@ -162,6 +162,118 @@ let prop_pifo_bounded_keeps_best =
       List.sort compare kept = expected)
 
 (* ------------------------------------------------------------------ *)
+(* Bucket queue (the O(1) exact PIFO)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_rank_order () =
+  let q = Sched.Bucket_queue.create ~capacity_pkts:10 () in
+  List.iter
+    (fun r -> ignore (q.Sched.Qdisc.enqueue (mk ~rank:r ())))
+    [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (list int)) "sorted by rank" [ 1; 3; 5; 7; 9 ]
+    (ranks_of (Sched.Qdisc.drain q))
+
+let test_bucket_stable_ties () =
+  Sched.Packet.reset_uid_counter ();
+  let q = Sched.Bucket_queue.create ~capacity_pkts:10 () in
+  let ps = List.init 5 (fun _ -> mk ~rank:4 ()) in
+  List.iter (fun p -> ignore (q.Sched.Qdisc.enqueue p)) ps;
+  Alcotest.(check (list int)) "FIFO among equal ranks" (uids_of ps)
+    (uids_of (Sched.Qdisc.drain q))
+
+let test_bucket_worst_eviction () =
+  let q = Sched.Bucket_queue.create ~capacity_pkts:3 () in
+  let worst = mk ~rank:100 () in
+  ignore (q.Sched.Qdisc.enqueue (mk ~rank:5 ()));
+  ignore (q.Sched.Qdisc.enqueue worst);
+  ignore (q.Sched.Qdisc.enqueue (mk ~rank:7 ()));
+  let better = mk ~rank:1 () in
+  let dropped = q.Sched.Qdisc.enqueue better in
+  Alcotest.(check (list int)) "worst evicted" [ worst.Sched.Packet.uid ]
+    (uids_of dropped);
+  Alcotest.(check (list int)) "queue keeps best three" [ 1; 5; 7 ]
+    (ranks_of (Sched.Qdisc.drain q))
+
+let test_bucket_equal_rank_full_drops_arrival () =
+  (* Same no-churn rule as Pifo_queue: among a full queue's worst rank,
+     the newest packet is the eviction victim, so an equal-rank arrival
+     (necessarily the newest) is tail-dropped. *)
+  let q = Sched.Bucket_queue.create ~capacity_pkts:1 () in
+  let first = mk ~rank:5 () in
+  ignore (q.Sched.Qdisc.enqueue first);
+  let second = mk ~rank:5 () in
+  let dropped = q.Sched.Qdisc.enqueue second in
+  Alcotest.(check (list int)) "newcomer dropped" [ second.Sched.Packet.uid ]
+    (uids_of dropped);
+  Alcotest.(check (list int)) "original kept" [ first.Sched.Packet.uid ]
+    (uids_of (Sched.Qdisc.drain q))
+
+let test_bucket_rank_clamping () =
+  (* Out-of-range ranks order as if clamped to [0, rank_max] but the
+     packets themselves are untouched. *)
+  let q = Sched.Bucket_queue.create ~rank_max:15 ~capacity_pkts:10 () in
+  let over = mk ~rank:1_000 () in
+  let neg = mk ~rank:(-3) () in
+  let mid = mk ~rank:7 () in
+  List.iter (fun p -> ignore (q.Sched.Qdisc.enqueue p)) [ over; neg; mid ];
+  Alcotest.(check (list int)) "clamped ordering, ranks preserved"
+    [ -3; 7; 1_000 ]
+    (ranks_of (Sched.Qdisc.drain q))
+
+let test_bucket_accounting () =
+  let q = Sched.Bucket_queue.create ~capacity_pkts:4 () in
+  ignore (q.Sched.Qdisc.enqueue (mk ~size:100 ~rank:1 ()));
+  ignore (q.Sched.Qdisc.enqueue (mk ~size:200 ~rank:2 ()));
+  Alcotest.(check int) "length" 2 (q.Sched.Qdisc.length ());
+  Alcotest.(check int) "bytes" 300 (q.Sched.Qdisc.bytes ());
+  (match q.Sched.Qdisc.peek () with
+  | Some p -> Alcotest.(check int) "peek best" 1 p.Sched.Packet.rank
+  | None -> Alcotest.fail "peek on non-empty queue");
+  ignore (q.Sched.Qdisc.dequeue ());
+  Alcotest.(check int) "bytes after dequeue" 200 (q.Sched.Qdisc.bytes ())
+
+(* One (op list) ~ one scenario: enqueue a rank, or dequeue. *)
+let bucket_ops_gen =
+  QCheck.(
+    pair (int_range 1 12)
+      (list_of_size (Gen.int_range 0 120)
+         (option (int_bound 64))))
+
+let prop_bucket_matches_pifo_map =
+  (* Heap-vs-bucket differential: on any interleaving of enqueues (dense
+     ranks, forcing ties and evictions at small capacity) and dequeues,
+     Bucket_queue emits byte-identical uid sequences — served and
+     dropped — to the Map-based Pifo_queue. *)
+  QCheck.Test.make ~name:"bucket queue matches map-based pifo" ~count:300
+    bucket_ops_gen
+    (fun (cap, ops) ->
+      let bucket = Sched.Bucket_queue.create ~capacity_pkts:cap () in
+      let map = Sched.Pifo_queue.create ~capacity_pkts:cap () in
+      let run (q : Sched.Qdisc.t) =
+        (* Replay under a reset uid counter so both backends see packets
+           with identical uids. *)
+        Sched.Packet.reset_uid_counter ();
+        let trace = ref [] in
+        List.iter
+          (fun op ->
+            match op with
+            | Some rank ->
+              q.Sched.Qdisc.enqueue_drop (mk ~rank ()) (fun d ->
+                  trace := `Drop d.Sched.Packet.uid :: !trace)
+            | None -> (
+              match q.Sched.Qdisc.dequeue () with
+              | Some p -> trace := `Serve p.Sched.Packet.uid :: !trace
+              | None -> trace := `Empty :: !trace))
+          ops;
+        List.iter
+          (fun (p : Sched.Packet.t) ->
+            trace := `Serve p.Sched.Packet.uid :: !trace)
+          (Sched.Qdisc.drain q);
+        List.rev !trace
+      in
+      run bucket = run map)
+
+(* ------------------------------------------------------------------ *)
 (* SP bank                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -713,6 +825,17 @@ let () =
             test_pifo_equal_rank_full_drops_arrival;
           qc prop_pifo_sorted;
           qc prop_pifo_bounded_keeps_best;
+        ] );
+      ( "bucket",
+        [
+          Alcotest.test_case "rank order" `Quick test_bucket_rank_order;
+          Alcotest.test_case "stable ties" `Quick test_bucket_stable_ties;
+          Alcotest.test_case "worst eviction" `Quick test_bucket_worst_eviction;
+          Alcotest.test_case "equal-rank full drops arrival" `Quick
+            test_bucket_equal_rank_full_drops_arrival;
+          Alcotest.test_case "rank clamping" `Quick test_bucket_rank_clamping;
+          Alcotest.test_case "accounting" `Quick test_bucket_accounting;
+          qc prop_bucket_matches_pifo_map;
         ] );
       ( "sp_bank",
         [
