@@ -591,13 +591,13 @@ let single_cmd =
   let metrics_interval_arg =
     let doc =
       "With --slo and --metrics-out, rewrite the metrics file every $(docv) \
-       simulated seconds during the run (periodic exposition for a scraper \
-       tailing the file), not just at the end."
+       of simulated time (e.g. 500ms, 2s, 1m) during the run — periodic \
+       exposition for a scraper tailing the file, not just at the end."
     in
     Arg.(
       value
-      & opt (some Cliopts.pos_float) None
-      & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc)
+      & opt (some Cliopts.duration) None
+      & info [ "metrics-interval" ] ~docv:"DURATION" ~doc)
   in
   let run scale seed scheme load config telemetry trace trace_sample profile
       flight slo inject alerts metrics_out metrics_interval =
@@ -636,6 +636,16 @@ let single_cmd =
             exit 1)
         alerts
     in
+    (* Graceful shutdown: an interrupted run must not truncate an NDJSON
+       record mid-line or leave a stale metrics file — flush the alert
+       sink and rewrite the exposition one last time, then exit through
+       Stdlib.exit so at_exit channel flushes still run. *)
+    Cliopts.at_signal_exit (fun () ->
+        Option.iter flush alerts_oc;
+        match (metrics_out, tel) with
+        | Some path, Some tel -> write_metrics path tel
+        | _ -> ());
+    Cliopts.exit_on_signal ();
     (* Periodic exposition: rewritten whole each time, so a scraper always
        sees a complete, parseable document. *)
     let last_metrics = ref neg_infinity in

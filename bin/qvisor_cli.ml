@@ -940,6 +940,158 @@ let trace_cmd =
   in
   Cmd.group (Cmd.info "trace" ~doc) [ query_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* serve: the long-running scheduling-hypervisor daemon               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket_arg =
+    let doc = "Unix-domain control socket path (unlinked and re-bound)." in
+    Arg.(value & opt string "qvisor.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let http_arg =
+    let doc =
+      "TCP port for $(b,GET /metrics) and $(b,/healthz) on 127.0.0.1 \
+       ($(b,0) picks an ephemeral port, printed on startup)."
+    in
+    Arg.(value & opt int 0 & info [ "http" ] ~docv:"PORT" ~doc)
+  in
+  let seed_arg =
+    let doc = "Root seed for the daemon's per-tenant traffic generators." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let load_arg =
+    let doc = "Per-tenant offered load on the access capacity." in
+    Arg.(value & opt Cliopts.pos_float 0.3 & info [ "load" ] ~docv:"LOAD" ~doc)
+  in
+  let slice_arg =
+    let doc =
+      "Simulated time served per event-loop iteration (e.g. 10ms, 1s)."
+    in
+    Arg.(
+      value & opt Cliopts.duration 0.01 & info [ "slice" ] ~docv:"DURATION" ~doc)
+  in
+  let cooldown_arg =
+    let doc =
+      "Base cooldown between remediation attempts for one tenant; each \
+       further attempt backs off exponentially (e.g. 500ms, 5s, 1m)."
+    in
+    Arg.(
+      value
+      & opt Cliopts.duration
+          Daemon.Remediation.default_config.Daemon.Remediation.cooldown
+      & info [ "remediation-cooldown" ] ~docv:"DURATION" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Simulated time granted to in-flight flows at shutdown (e.g. 500ms)."
+    in
+    Arg.(
+      value
+      & opt Cliopts.duration 0.5
+      & info [ "drain-timeout" ] ~docv:"DURATION" ~doc)
+  in
+  let alerts_arg =
+    let doc =
+      "Write the health machine's NDJSON alert stream (one line per \
+       per-tenant state transition) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "alerts" ] ~docv:"FILE" ~doc)
+  in
+  let audit_arg =
+    let doc =
+      "Write the remediation audit log (one NDJSON line per guarded \
+       resynthesis attempt) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE" ~doc)
+  in
+  let inject_serve_arg =
+    let doc =
+      "Replace every port's queue discipline with a deliberately broken one \
+       (lifo-ties | drop-newest) — the fault that drives the SLO auditor to \
+       Violating and exercises auto-remediation end to end."
+    in
+    Arg.(
+      value & opt (some fault_conv) None & info [ "inject" ] ~docv:"FAULT" ~doc)
+  in
+  let run tenant_specs policy_str levels spec_file socket_path http_port seed
+      load slice cooldown drain_timeout alerts audit inject =
+    let default = Daemon.Server.default_config in
+    let tenants, policy =
+      (* Unlike the one-shot commands, serving something is more useful
+         than erroring out: with no spec at all, serve the paper's two
+         default tenants. *)
+      if spec_file = None && tenant_specs = [] && policy_str = None then
+        (default.Daemon.Server.tenants, default.Daemon.Server.policy)
+      else resolve_spec spec_file tenant_specs policy_str
+    in
+    let open_sink =
+      Option.map (fun path ->
+          try open_out path
+          with Sys_error e ->
+            Format.eprintf "cannot write %s: %s@." path e;
+            exit 1)
+    in
+    let alerts_oc = open_sink alerts in
+    let audit_oc = open_sink audit in
+    let config =
+      {
+        default with
+        Daemon.Server.socket_path;
+        http_port;
+        tenants;
+        policy;
+        levels;
+        seed;
+        load;
+        slice;
+        drain_timeout;
+        remediation =
+          {
+            Daemon.Remediation.default_config with
+            Daemon.Remediation.cooldown;
+          };
+        alerts = alerts_oc;
+        audit = audit_oc;
+        inject_qdisc = Option.map Conformance.Fault.qdisc inject;
+      }
+    in
+    match Daemon.Server.create config with
+    | Error e ->
+      Format.eprintf "cannot start daemon: %s@." (Qvisor.Error.to_string e);
+      exit 1
+    | Ok server ->
+      (* SIGINT/SIGTERM stop the loop; serve's own epilogue then drains
+         in-flight flows, flushes the sinks, and unlinks the socket. *)
+      Cliopts.on_signal (fun _ -> Daemon.Server.stop server);
+      Format.printf "control socket: %s@." socket_path;
+      Format.printf "metrics: http://127.0.0.1:%d/metrics@."
+        (Daemon.Server.http_port server);
+      Format.print_flush ();
+      Daemon.Server.serve server;
+      List.iter
+        (fun (oc, path) ->
+          match (oc, path) with
+          | Some oc, Some path ->
+            close_out oc;
+            Format.eprintf "wrote %s@." path
+          | _ -> ())
+        [ (alerts_oc, alerts); (audit_oc, audit) ]
+  in
+  let doc =
+    "Run the scheduling hypervisor as a persistent daemon: continuous \
+     multi-tenant traffic through the synthesized plan, a line-oriented \
+     JSON control socket (tenant-add | tenant-remove | policy-update | \
+     status | drain | shutdown), a live Prometheus scrape surface, and \
+     SLO-driven auto-remediation (observed-range refresh, then \
+     quantization coarsening) for violating tenants."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ tenants_arg $ policy_arg $ levels_arg $ spec_file_arg
+      $ socket_arg $ http_arg $ seed_arg $ load_arg $ slice_arg $ cooldown_arg
+      $ drain_arg $ alerts_arg $ audit_arg $ inject_serve_arg)
+
 let () =
   let doc = "QVISOR control-plane tools" in
   exit
@@ -954,4 +1106,5 @@ let () =
             metrics_cmd;
             bench_cmd;
             trace_cmd;
+            serve_cmd;
           ]))

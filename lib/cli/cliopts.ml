@@ -21,3 +21,71 @@ let pos_float =
           (Printf.sprintf "expected a strictly positive number, got '%s'" s))
   in
   Arg.conv ~docv:"X" (parse, Format.pp_print_float)
+
+let duration_of_string s =
+  let scaled num unit_ =
+    match float_of_string_opt num with
+    | Some v when Float.is_finite v && v > 0. -> Some (v *. unit_)
+    | Some _ | None -> None
+  in
+  let n = String.length s in
+  let v =
+    if n >= 2 && String.sub s (n - 2) 2 = "ms" then
+      scaled (String.sub s 0 (n - 2)) 1e-3
+    else if n >= 1 && s.[n - 1] = 's' then
+      scaled (String.sub s 0 (n - 1)) 1.
+    else if n >= 1 && s.[n - 1] = 'm' then
+      scaled (String.sub s 0 (n - 1)) 60.
+    else scaled s 1.
+  in
+  match v with
+  | Some v -> Ok v
+  | None ->
+    Error
+      (Printf.sprintf
+         "expected a strictly positive duration ('500ms', '2s', '1m' or bare \
+          seconds), got '%s'"
+         s)
+
+let pp_duration ppf seconds =
+  if seconds < 1. && Float.is_integer (seconds *. 1000.) then
+    Format.fprintf ppf "%.0fms" (seconds *. 1000.)
+  else if Float.is_integer (seconds /. 60.) && seconds >= 60. then
+    Format.fprintf ppf "%.0fm" (seconds /. 60.)
+  else Format.fprintf ppf "%gs" seconds
+
+let duration =
+  let parse s = Result.map_error (fun m -> `Msg m) (duration_of_string s) in
+  Arg.conv ~docv:"DURATION" (parse, pp_duration)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_signals = [ Sys.sigint; Sys.sigterm ]
+
+let on_signal ?(signals = default_signals) f =
+  List.iter
+    (fun signo ->
+      (* Some signals cannot be trapped on some platforms; a CLI that
+         merely loses graceful shutdown should still start. *)
+      try ignore (Sys.signal signo (Sys.Signal_handle f))
+      with Sys_error _ | Invalid_argument _ -> ())
+    signals
+
+let cleanups : (unit -> unit) list ref = ref []
+
+let at_signal_exit f = cleanups := f :: !cleanups
+
+let run_cleanups () =
+  let fs = !cleanups in
+  cleanups := [];
+  List.iter (fun f -> try f () with _ -> ()) fs
+
+let exit_on_signal ?signals () =
+  on_signal ?signals (fun signo ->
+      run_cleanups ();
+      (* [Stdlib.exit], not [Unix._exit]: at_exit handlers run, so open
+         channels (NDJSON sinks, --metrics-out files) flush instead of
+         truncating their last record mid-line. *)
+      Stdlib.exit (128 + signo))

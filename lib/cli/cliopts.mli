@@ -13,3 +13,37 @@ val pos_int : int Cmdliner.Arg.conv
 
 val pos_float : float Cmdliner.Arg.conv
 (** A strictly positive, finite number ([> 0]). *)
+
+val duration : float Cmdliner.Arg.conv
+(** A strictly positive duration in seconds, accepting the suffixes
+    [ms], [s] and [m] — ["500ms"], ["2s"], ["1.5m"] — or a bare number
+    of seconds for backward compatibility.  Used by
+    [--metrics-interval], [--remediation-cooldown] and
+    [--drain-timeout]. *)
+
+val duration_of_string : string -> (float, string) result
+(** The parsing half of {!duration}, usable outside [Cmdliner]. *)
+
+(** {1 Graceful shutdown}
+
+    One-shot CLIs die mid-write when interrupted: a [SIGINT] during
+    [experiments single --alerts] can truncate the final NDJSON record.
+    These helpers install handlers that run registered cleanups and then
+    exit through [Stdlib.exit], so [at_exit]-registered channel flushes
+    still happen. *)
+
+val on_signal : ?signals:int list -> (int -> unit) -> unit
+(** Install [f] as the handler for each signal (default
+    [[Sys.sigint; Sys.sigterm]]).  Signals that cannot be trapped on the
+    platform are skipped silently. *)
+
+val at_signal_exit : (unit -> unit) -> unit
+(** Register a cleanup (flush a sink, finalize a metrics file) to run —
+    LIFO, exceptions swallowed — when {!exit_on_signal}'s handler
+    fires. *)
+
+val exit_on_signal : ?signals:int list -> unit -> unit
+(** Install a terminating handler: on delivery it runs every
+    {!at_signal_exit} cleanup and calls [Stdlib.exit (128 + signo)]
+    (the conventional fatal-signal exit status), which also runs
+    [at_exit] handlers and flushes open channels. *)

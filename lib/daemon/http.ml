@@ -1,0 +1,44 @@
+type request = { meth : string; target : string }
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n > 0 && at 0
+
+let head_complete buf = contains ~needle:"\r\n\r\n" buf || contains ~needle:"\n\n" buf
+
+let parse_request head =
+  let line =
+    match String.index_opt head '\n' with
+    | None -> head
+    | Some i -> String.sub head 0 i
+  in
+  let line =
+    if line <> "" && line.[String.length line - 1] = '\r' then
+      String.sub line 0 (String.length line - 1)
+    else line
+  in
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." ->
+    Ok { meth; target }
+  | _ -> Error (Printf.sprintf "malformed request line %S" line)
+
+let response ?(status = 200) ?(reason = "OK")
+    ?(content_type = "text/plain; version=0.0.4; charset=utf-8") body =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status reason content_type (String.length body) body
+
+let not_found =
+  response ~status:404 ~reason:"Not Found" ~content_type:"text/plain"
+    "not found\n"
+
+let method_not_allowed =
+  response ~status:405 ~reason:"Method Not Allowed" ~content_type:"text/plain"
+    "only GET is served\n"
+
+let bad_request err =
+  response ~status:400 ~reason:"Bad Request" ~content_type:"text/plain"
+    (err ^ "\n")

@@ -1,0 +1,33 @@
+(** A deliberately minimal HTTP/1.1 responder for the daemon's scrape
+    surface.
+
+    Only what a Prometheus scraper (or [curl]) needs: parse the request
+    line out of a received head, format a [Connection: close] response.
+    The socket shuffling lives in {!Server}; everything here is pure and
+    unit-testable. *)
+
+type request = { meth : string; target : string }
+
+val head_complete : string -> bool
+(** Whether the buffered bytes contain the end-of-head marker
+    ([CRLF CRLF], or bare [LF LF] from sloppy clients). *)
+
+val parse_request : string -> (request, string) result
+(** Parse the request line of a received head: method and target,
+    HTTP version checked to be [HTTP/1.x].  Headers are ignored — the
+    daemon serves only bodyless [GET]s. *)
+
+val response :
+  ?status:int -> ?reason:string -> ?content_type:string -> string -> string
+(** A full response with [Content-Length] and [Connection: close]
+    (default status [200 OK], content type [text/plain; version=0.0.4]
+    — the Prometheus exposition type). *)
+
+val not_found : string
+(** A canned [404] for unknown paths. *)
+
+val method_not_allowed : string
+(** A canned [405] for anything but [GET]. *)
+
+val bad_request : string -> string
+(** A canned [400] carrying the parse error. *)

@@ -1,0 +1,244 @@
+module J = Engine.Json
+
+type request =
+  | Tenant_add of { tenant : Qvisor.Tenant.t; policy : Qvisor.Policy.t option }
+  | Tenant_remove of { tenant_id : int; policy : Qvisor.Policy.t option }
+  | Policy_update of Qvisor.Policy.t
+  | Status
+  | Drain
+  | Shutdown
+
+type tenant_status = {
+  ts_id : int;
+  ts_name : string;
+  ts_algorithm : string;
+  ts_health : Engine.Health.state;
+}
+
+type status = {
+  epoch : int;
+  sim_time : float;
+  draining : bool;
+  policy : string;
+  tenants : tenant_status list;
+  resyntheses : int;
+  remediations : int;
+}
+
+type reply =
+  | Added of { epoch : int }
+  | Removed of { epoch : int }
+  | Updated of { epoch : int }
+  | Status_reply of status
+  | Draining
+  | Shutting_down
+
+type outcome = (reply, Qvisor.Error.t) result
+
+let ( let* ) = Result.bind
+
+let config_err fmt = Printf.ksprintf (fun m -> Qvisor.Error.Config m) fmt
+
+let field name json ~conv ~what =
+  match Option.bind (J.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (config_err "%s: missing or ill-typed field %S" what name)
+
+let opt_policy json =
+  match J.member "policy" json with
+  | None | Some J.Null -> Ok None
+  | Some j -> (
+    match Qvisor.Serialize.policy_of_json j with
+    | Ok p -> Ok (Some p)
+    | Error e -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let request_to_json = function
+  | Tenant_add { tenant; policy } ->
+    J.Obj
+      ([
+         ("op", J.String "tenant-add");
+         ("tenant", Qvisor.Serialize.tenant_to_json tenant);
+       ]
+      @
+      match policy with
+      | None -> []
+      | Some p -> [ ("policy", Qvisor.Serialize.policy_to_json p) ])
+  | Tenant_remove { tenant_id; policy } ->
+    J.Obj
+      ([
+         ("op", J.String "tenant-remove");
+         ("id", J.Number (float_of_int tenant_id));
+       ]
+      @
+      match policy with
+      | None -> []
+      | Some p -> [ ("policy", Qvisor.Serialize.policy_to_json p) ])
+  | Policy_update p ->
+    J.Obj
+      [
+        ("op", J.String "policy-update");
+        ("policy", Qvisor.Serialize.policy_to_json p);
+      ]
+  | Status -> J.Obj [ ("op", J.String "status") ]
+  | Drain -> J.Obj [ ("op", J.String "drain") ]
+  | Shutdown -> J.Obj [ ("op", J.String "shutdown") ]
+
+let request_of_json json =
+  let* op = field "op" json ~conv:J.to_str ~what:"request" in
+  match op with
+  | "tenant-add" ->
+    let* tenant =
+      match J.member "tenant" json with
+      | None -> Error (config_err "tenant-add: missing field \"tenant\"")
+      | Some j -> Qvisor.Serialize.tenant_of_json j
+    in
+    let* policy = opt_policy json in
+    Ok (Tenant_add { tenant; policy })
+  | "tenant-remove" ->
+    let* tenant_id = field "id" json ~conv:J.to_int ~what:"tenant-remove" in
+    let* policy = opt_policy json in
+    Ok (Tenant_remove { tenant_id; policy })
+  | "policy-update" -> (
+    match J.member "policy" json with
+    | None -> Error (config_err "policy-update: missing field \"policy\"")
+    | Some j ->
+      let* p = Qvisor.Serialize.policy_of_json j in
+      Ok (Policy_update p))
+  | "status" -> Ok Status
+  | "drain" -> Ok Drain
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (config_err "unknown op %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let health_of_string = function
+  | "healthy" -> Some Engine.Health.Healthy
+  | "degraded" -> Some Engine.Health.Degraded
+  | "violating" -> Some Engine.Health.Violating
+  | _ -> None
+
+let tenant_status_to_json ts =
+  J.Obj
+    [
+      ("id", J.Number (float_of_int ts.ts_id));
+      ("name", J.String ts.ts_name);
+      ("algorithm", J.String ts.ts_algorithm);
+      ("health", J.String (Engine.Health.state_to_string ts.ts_health));
+    ]
+
+let tenant_status_of_json json =
+  let what = "tenant status" in
+  let* ts_id = field "id" json ~conv:J.to_int ~what in
+  let* ts_name = field "name" json ~conv:J.to_str ~what in
+  let* ts_algorithm = field "algorithm" json ~conv:J.to_str ~what in
+  let* ts_health =
+    field "health" json ~conv:(fun j -> Option.bind (J.to_str j) health_of_string) ~what
+  in
+  Ok { ts_id; ts_name; ts_algorithm; ts_health }
+
+let status_to_json s =
+  J.Obj
+    [
+      ("epoch", J.Number (float_of_int s.epoch));
+      ("sim_time", J.Number s.sim_time);
+      ("draining", J.Bool s.draining);
+      ("policy", J.String s.policy);
+      ("tenants", J.List (List.map tenant_status_to_json s.tenants));
+      ("resyntheses", J.Number (float_of_int s.resyntheses));
+      ("remediations", J.Number (float_of_int s.remediations));
+    ]
+
+let status_of_json json =
+  let what = "status" in
+  let* epoch = field "epoch" json ~conv:J.to_int ~what in
+  let* sim_time = field "sim_time" json ~conv:J.to_float ~what in
+  let* draining = field "draining" json ~conv:J.to_bool ~what in
+  let* policy = field "policy" json ~conv:J.to_str ~what in
+  let* tenant_jsons = field "tenants" json ~conv:J.to_list ~what in
+  let* tenants =
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        let* ts = tenant_status_of_json j in
+        Ok (ts :: acc))
+      (Ok []) tenant_jsons
+    |> Result.map List.rev
+  in
+  let* resyntheses = field "resyntheses" json ~conv:J.to_int ~what in
+  let* remediations = field "remediations" json ~conv:J.to_int ~what in
+  Ok { epoch; sim_time; draining; policy; tenants; resyntheses; remediations }
+
+let reply_fields = function
+  | Added { epoch } ->
+    [ ("reply", J.String "added"); ("epoch", J.Number (float_of_int epoch)) ]
+  | Removed { epoch } ->
+    [ ("reply", J.String "removed"); ("epoch", J.Number (float_of_int epoch)) ]
+  | Updated { epoch } ->
+    [ ("reply", J.String "updated"); ("epoch", J.Number (float_of_int epoch)) ]
+  | Status_reply s -> [ ("reply", J.String "status"); ("status", status_to_json s) ]
+  | Draining -> [ ("reply", J.String "draining") ]
+  | Shutting_down -> [ ("reply", J.String "shutting-down") ]
+
+let outcome_to_json = function
+  | Ok reply -> J.Obj (("ok", J.Bool true) :: reply_fields reply)
+  | Error e ->
+    J.Obj
+      [ ("ok", J.Bool false); ("error", Qvisor.Serialize.error_to_json e) ]
+
+let reply_of_json json =
+  let* kind = field "reply" json ~conv:J.to_str ~what:"reply" in
+  let epoch () = field "epoch" json ~conv:J.to_int ~what:"reply" in
+  match kind with
+  | "added" ->
+    let* epoch = epoch () in
+    Ok (Added { epoch })
+  | "removed" ->
+    let* epoch = epoch () in
+    Ok (Removed { epoch })
+  | "updated" ->
+    let* epoch = epoch () in
+    Ok (Updated { epoch })
+  | "status" -> (
+    match J.member "status" json with
+    | None -> Error (config_err "status reply: missing field \"status\"")
+    | Some j ->
+      let* s = status_of_json j in
+      Ok (Status_reply s))
+  | "draining" -> Ok Draining
+  | "shutting-down" -> Ok Shutting_down
+  | k -> Error (config_err "unknown reply kind %S" k)
+
+let outcome_of_json json =
+  let* ok = field "ok" json ~conv:J.to_bool ~what:"reply" in
+  if ok then
+    let* reply = reply_of_json json in
+    Ok (Ok reply)
+  else
+    match J.member "error" json with
+    | None -> Error (config_err "failure reply: missing field \"error\"")
+    | Some j ->
+      let* e = Qvisor.Serialize.error_of_json j in
+      Ok (Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Wire form                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let request_line r = J.to_string (request_to_json r) ^ "\n"
+
+let outcome_line o = J.to_string (outcome_to_json o) ^ "\n"
+
+let parse_with of_json line =
+  match J.of_string line with
+  | Error e -> Error (config_err "malformed request line: %s" e)
+  | Ok json -> of_json json
+
+let parse_request line = parse_with request_of_json line
+
+let parse_outcome line = parse_with outcome_of_json line

@@ -1,0 +1,118 @@
+type config = {
+  cooldown : float;
+  backoff_factor : float;
+  backoff_max : float;
+  recovery : float;
+}
+
+let default_config =
+  { cooldown = 5.; backoff_factor = 2.; backoff_max = 300.; recovery = 30. }
+
+type action = Refresh | Coarsen of { levels : int }
+
+let action_to_string = function
+  | Refresh -> "refresh"
+  | Coarsen { levels } -> Printf.sprintf "coarsen:%d" levels
+
+type decision = Hold | Fire of { attempt : int; action : action }
+
+type subject = {
+  mutable attempts : int;
+  mutable not_before : float;  (* no attempt may fire earlier *)
+  mutable healthy_since : float option;
+}
+
+type t = { config : config; subjects : (int, subject) Hashtbl.t }
+
+let create ?(config = default_config) () =
+  if config.cooldown <= 0. then
+    invalid_arg "Remediation.create: cooldown <= 0";
+  if config.backoff_factor < 1. then
+    invalid_arg "Remediation.create: backoff_factor < 1";
+  if config.backoff_max < config.cooldown then
+    invalid_arg "Remediation.create: backoff_max < cooldown";
+  if config.recovery <= 0. then
+    invalid_arg "Remediation.create: recovery <= 0";
+  { config; subjects = Hashtbl.create 8 }
+
+let subject t id =
+  match Hashtbl.find_opt t.subjects id with
+  | Some s -> s
+  | None ->
+    let s = { attempts = 0; not_before = 0.; healthy_since = None } in
+    Hashtbl.add t.subjects id s;
+    s
+
+(* The minimum floor mirrors Synthesizer's smallest useful resolution:
+   below 4 levels a plan cannot distinguish tenants within a band. *)
+let min_levels = 4
+
+let next_action ~attempt ~levels =
+  if attempt <= 1 then Refresh
+  else
+    let current = Option.value levels ~default:256 in
+    Coarsen { levels = max min_levels (current / 2) }
+
+let backed_off_cooldown c ~attempt =
+  (* attempt is the 1-based index of the attempt that just fired. *)
+  Float.min c.backoff_max
+    (c.cooldown *. (c.backoff_factor ** float_of_int (attempt - 1)))
+
+let observe t ~id ~now ~levels state =
+  let s = subject t id in
+  match (state : Engine.Health.state) with
+  | Engine.Health.Healthy ->
+    (match s.healthy_since with
+    | None -> s.healthy_since <- Some now
+    | Some since ->
+      if now -. since >= t.config.recovery && s.attempts > 0 then begin
+        s.attempts <- 0;
+        s.not_before <- now
+      end);
+    Hold
+  | Engine.Health.Degraded ->
+    (* Not healthy: a recovery streak broken by degradation does not
+       count, which is exactly what keeps alternating windows from
+       resetting the ladder. *)
+    s.healthy_since <- None;
+    Hold
+  | Engine.Health.Violating ->
+    s.healthy_since <- None;
+    if now < s.not_before then Hold
+    else begin
+      s.attempts <- s.attempts + 1;
+      let attempt = s.attempts in
+      s.not_before <- now +. backed_off_cooldown t.config ~attempt;
+      Fire { attempt; action = next_action ~attempt ~levels }
+    end
+
+let attempts t ~id =
+  match Hashtbl.find_opt t.subjects id with None -> 0 | Some s -> s.attempts
+
+let forget t ~id = Hashtbl.remove t.subjects id
+
+let audit_record ~now ~id ~name ~attempt ~action ~result ~epoch =
+  let base =
+    [
+      ("t", Engine.Json.Number now);
+      ("tenant", Engine.Json.Number (float_of_int id));
+      ("name", Engine.Json.String name);
+      ("attempt", Engine.Json.Number (float_of_int attempt));
+      ("action", Engine.Json.String (action_to_string action));
+    ]
+  in
+  let tail =
+    match result with
+    | Ok () ->
+      [
+        ("result", Engine.Json.String "ok");
+        ("epoch", Engine.Json.Number (float_of_int epoch));
+      ]
+    | Error e ->
+      [
+        ("result", Engine.Json.String "error");
+        ("error", Qvisor.Serialize.error_to_json e);
+        ("epoch", Engine.Json.Number (float_of_int epoch));
+      ]
+  in
+  Engine.Json.Obj (base @ tail)

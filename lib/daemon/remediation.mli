@@ -1,0 +1,75 @@
+(** SLO-driven auto-remediation: decide {e when} a violating tenant earns
+    a guarded resynthesis, and {e what} to try.
+
+    Pure and clock-agnostic (time comes in through [now]), so the
+    hysteresis is unit-testable without a daemon.  Per tenant:
+
+    - the first attempt fires as soon as the tenant is [Violating] (the
+      health machine's strike hysteresis already debounced the signal);
+      each subsequent attempt is gated by a {e cooldown} that grows
+      exponentially ([cooldown * factor^(attempt-1)], capped at
+      [backoff_max]) — a persistently violating tenant is retried more
+      and more reluctantly;
+    - the attempt counter resets only after the tenant has been
+      continuously [Healthy] for [recovery] seconds.  A tenant that
+      alternates healthy/violating faster than that keeps climbing the
+      backoff ladder instead of re-triggering eagerly: remediation can
+      never flap in step with a flapping signal.
+
+    The action ladder is the paper-faithful fallback chain: first
+    re-synthesize from {e observed} rank ranges ({!Qvisor.Runtime.refresh}
+    — the paper's "latest packets" adaptation), then progressively halve
+    the quantization resolution ({!Qvisor.Runtime.coarsen}) so every
+    tenant still fits a deployable plan. *)
+
+type config = {
+  cooldown : float;  (** base seconds between attempts *)
+  backoff_factor : float;  (** per-attempt multiplier (>= 1) *)
+  backoff_max : float;  (** ceiling on the per-attempt cooldown *)
+  recovery : float;
+      (** continuous healthy seconds that reset the attempt counter *)
+}
+
+val default_config : config
+(** [{cooldown = 5.; backoff_factor = 2.; backoff_max = 300.;
+     recovery = 30.}] (in served sim-seconds). *)
+
+type action =
+  | Refresh  (** re-synthesize from observed rank ranges *)
+  | Coarsen of { levels : int }  (** quantization fallback *)
+
+val action_to_string : action -> string
+
+type decision = Hold | Fire of { attempt : int; action : action }
+
+type t
+
+val create : ?config:config -> unit -> t
+(** @raise Invalid_argument on a non-positive [cooldown]/[recovery],
+    [backoff_factor < 1], or [backoff_max < cooldown]. *)
+
+val observe :
+  t -> id:int -> now:float -> levels:int option -> Engine.Health.state -> decision
+(** Fold one health evaluation for tenant [id] at time [now].  [levels]
+    is the plan's current quantization resolution ([None] = full), used
+    to pick the next [Coarsen] step.  Returns [Fire] at most once per
+    (backed-off) cooldown window, and only for [Violating]. *)
+
+val attempts : t -> id:int -> int
+(** Attempts fired since the last recovery reset. *)
+
+val forget : t -> id:int -> unit
+(** Drop the tenant's remediation state (tenant removed). *)
+
+val audit_record :
+  now:float ->
+  id:int ->
+  name:string ->
+  attempt:int ->
+  action:action ->
+  result:(unit, Qvisor.Error.t) result ->
+  epoch:int ->
+  Engine.Json.t
+(** One NDJSON audit line:
+    [{"t":..,"tenant":..,"name":..,"attempt":..,"action":"refresh",
+      "result":"ok","epoch":..}] with an ["error"] object on failure. *)

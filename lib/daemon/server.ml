@@ -1,0 +1,687 @@
+module T = Qvisor.Tenant
+
+type config = {
+  socket_path : string;
+  http_port : int;
+  tenants : T.t list;
+  policy : Qvisor.Policy.t;
+  levels : int option;
+  seed : int;
+  load : float;
+  slice : float;
+  drain_timeout : float;
+  remediation : Remediation.config;
+  telemetry : Engine.Telemetry.t;
+  alerts : out_channel option;
+  audit : out_channel option;
+  inject_qdisc : (capacity_pkts:int -> Sched.Qdisc.t) option;
+}
+
+(* The serving fabric is the paper's quick-scale leaf-spine evaluation
+   topology; serving capacity scales with later roadmap items (intra-sim
+   parallelism), not with daemon knobs. *)
+let leaves = 2
+
+let spines = 2
+
+let hosts_per_leaf = 4
+
+let access_rate = 1e9
+
+let fabric_rate = 4e9
+
+let link_delay = 1e-6
+
+let queue_capacity_pkts = 100
+
+let pfabric_unit_bytes = 1000
+
+let edf_unit_seconds = 2e-5
+
+let deadline_budget = 2e-3
+
+let deadline_flow_bytes = 14_600 (* ten full payloads per deadline flow *)
+
+let default_tenants =
+  [
+    T.make ~algorithm:"pfabric" ~rank_lo:0
+      ~rank_hi:(30_000_000 / pfabric_unit_bytes)
+      ~id:0 ~name:"pfabric" ();
+    T.make ~algorithm:"edf" ~rank_lo:0
+      ~rank_hi:(int_of_float (1.5 *. deadline_budget /. edf_unit_seconds))
+      ~id:1 ~name:"edf" ();
+  ]
+
+let default_config =
+  {
+    socket_path = "qvisor.sock";
+    http_port = 0;
+    tenants = default_tenants;
+    policy = Qvisor.Policy.parse_exn "edf >> pfabric";
+    levels = None;
+    seed = 1;
+    load = 0.3;
+    slice = 0.01;
+    drain_timeout = 0.5;
+    remediation = Remediation.default_config;
+    telemetry = Engine.Telemetry.create ();
+    alerts = None;
+    audit = None;
+    inject_qdisc = None;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  kind : [ `Ctl | `Http ];
+  mutable pending : string;
+  mutable closed : bool;
+}
+
+type t = {
+  config : config;
+  sim : Engine.Sim.t;
+  transport : Netsim.Transport.t;
+  net : Netsim.Net.t;
+  runtime : Qvisor.Runtime.t;
+  auditor : Qvisor.Slo.t ref;
+  health : Engine.Health.t;
+  remediation : Remediation.t;
+  rng : Engine.Rng.t;
+  tel : Engine.Telemetry.t;
+  num_hosts : int;
+  traffic : (int, bool ref) Hashtbl.t;  (* tenant id -> arrivals-alive flag *)
+  ctl_listen : Unix.file_descr;
+  http_listen : Unix.file_descr;
+  bound_port : int;
+  mutable conns : conn list;
+  mutable draining : bool;
+  mutable stopping : bool;
+  mutable remediations : int;
+}
+
+let epoch t = Qvisor.Runtime.resyntheses t.runtime + 1
+
+let sim_time t = Engine.Sim.now t.sim
+
+let http_port t = t.bound_port
+
+let socket_path t = t.config.socket_path
+
+let stop t = t.stopping <- true
+
+(* ------------------------------------------------------------------ *)
+(* SLO plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let envelopes tenants ~load =
+  let sigma = float_of_int (queue_capacity_pkts * 1518) in
+  List.map
+    (fun tn ->
+      ( tn.T.id,
+        Qvisor.Latency.envelope ~sigma ~rho:(load *. access_rate /. 8.) ))
+    tenants
+
+let make_auditor runtime ~load =
+  let plan = Qvisor.Runtime.plan runtime in
+  let tenants = Qvisor.Runtime.tenants runtime in
+  let objectives =
+    Qvisor.Slo.derive ~plan ~envelopes:(envelopes tenants ~load)
+      ~link_rate:access_rate ()
+  in
+  Qvisor.Slo.create ~objectives ()
+
+let rebuild_slo t = t.auditor := make_auditor t.runtime ~load:t.config.load
+
+let health_severity = function
+  | Engine.Health.Healthy -> 0.
+  | Engine.Health.Degraded -> 1.
+  | Engine.Health.Violating -> 2.
+
+let mirror t (tn : T.t) =
+  if Engine.Telemetry.is_enabled t.tel then begin
+    let id = tn.T.id in
+    (match Qvisor.Slo.status !(t.auditor) ~tenant_id:id with
+    | None -> ()
+    | Some st ->
+      let set name v =
+        Engine.Telemetry.Gauge.set
+          (Engine.Telemetry.gauge t.tel
+             (Printf.sprintf "slo.tenant.%d.%s" id name))
+          v
+      in
+      set "fast_burn" st.Qvisor.Slo.fast_burn;
+      set "slow_burn" st.Qvisor.Slo.slow_burn;
+      set "budget_remaining" st.Qvisor.Slo.budget_remaining;
+      set "delay_quantile_seconds" st.Qvisor.Slo.observed_delay);
+    Engine.Telemetry.Gauge.set
+      (Engine.Telemetry.gauge t.tel (Printf.sprintf "health.tenant.%d.state" id))
+      (health_severity (Engine.Health.state t.health ~id))
+  end
+
+let audit_line t json =
+  match t.config.audit with
+  | None -> ()
+  | Some oc ->
+    output_string oc (Engine.Json.to_string json);
+    output_char oc '\n';
+    flush oc
+
+let execute_remediation t (tn : T.t) ~attempt ~action ~now =
+  let result =
+    match (action : Remediation.action) with
+    | Remediation.Refresh -> Qvisor.Runtime.refresh t.runtime
+    | Remediation.Coarsen { levels } -> Qvisor.Runtime.coarsen t.runtime ~levels
+  in
+  (match result with
+  | Ok () ->
+    t.remediations <- t.remediations + 1;
+    rebuild_slo t
+  | Error _ -> ());
+  audit_line t
+    (Remediation.audit_record ~now ~id:tn.T.id ~name:tn.T.name ~attempt
+       ~action ~result ~epoch:(epoch t))
+
+let tick t =
+  let now = Engine.Sim.now t.sim in
+  List.iter
+    (fun (tn : T.t) ->
+      let id = tn.T.id in
+      let signal, detail = Qvisor.Slo.evaluate !(t.auditor) ~tenant_id:id in
+      Engine.Health.observe t.health ~id ~time:now ~source:"slo" ~detail signal;
+      let state = Engine.Health.state t.health ~id in
+      (match
+         Remediation.observe t.remediation ~id ~now
+           ~levels:(Qvisor.Runtime.config t.runtime).Qvisor.Synthesizer.levels
+           state
+       with
+      | Remediation.Hold -> ()
+      | Remediation.Fire { attempt; action } ->
+        execute_remediation t tn ~attempt ~action ~now);
+      mirror t tn)
+    (Qvisor.Runtime.tenants t.runtime)
+
+(* ------------------------------------------------------------------ *)
+(* Traffic                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_driven (tn : T.t) =
+  match tn.T.algorithm with "edf" | "lstf" -> true | _ -> false
+
+let ranker_for (tn : T.t) =
+  match tn.T.algorithm with
+  | "pfabric" | "srpt" -> Sched.Ranker.pfabric ~unit_bytes:pfabric_unit_bytes ()
+  | "edf" ->
+    Sched.Ranker.edf ~unit_seconds:edf_unit_seconds
+      ~horizon:(1.5 *. deadline_budget) ()
+  | "lstf" -> Sched.Ranker.lstf ~line_rate:access_rate ()
+  | "stfq" -> Sched.Ranker.stfq ()
+  | "fifo_plus" | "fifo+" -> Sched.Ranker.fifo_plus ()
+  | _ -> Sched.Ranker.fifo ()
+
+let start_traffic t (tn : T.t) =
+  let id = tn.T.id in
+  let active = ref true in
+  Hashtbl.replace t.traffic id active;
+  let rng = Engine.Rng.split t.rng in
+  let ranker = ranker_for tn in
+  let deadline = deadline_driven tn in
+  let dist = Netsim.Workload.data_mining () in
+  let mean_size =
+    if deadline then float_of_int deadline_flow_bytes
+    else Engine.Rng.Empirical.mean dist
+  in
+  let rate =
+    Netsim.Workload.flow_arrival_rate ~load:t.config.load
+      ~num_hosts:t.num_hosts ~access_rate ~mean_flow_size:mean_size
+  in
+  let completed =
+    Engine.Telemetry.counter t.tel
+      (Printf.sprintf "daemon.tenant.%d.flows_completed" id)
+  in
+  let started =
+    Engine.Telemetry.counter t.tel
+      (Printf.sprintf "daemon.tenant.%d.flows_started" id)
+  in
+  let rec arrival () =
+    if !active && not t.draining && not t.stopping then begin
+      let src, dst = Engine.Rng.pair_distinct rng ~n:t.num_hosts in
+      let size =
+        if deadline then deadline_flow_bytes
+        else max 1 (int_of_float (Engine.Rng.Empirical.sample dist rng))
+      in
+      let deadline_at =
+        if deadline then
+          Some
+            (Engine.Sim.now t.sim
+            +. deadline_budget *. Engine.Rng.float_range rng ~lo:0.5 ~hi:1.5)
+        else None
+      in
+      ignore
+        (Netsim.Transport.start_flow t.transport ~tenant:id ~ranker ~src ~dst
+           ~size ?deadline:deadline_at
+           ~on_complete:(fun _ -> Engine.Telemetry.Counter.incr completed)
+           ());
+      Engine.Telemetry.Counter.incr started;
+      Engine.Sim.schedule_after_ t.sim
+        ~delay:(Engine.Rng.exponential rng ~mean:(1. /. rate))
+        arrival
+    end
+  in
+  Engine.Sim.schedule_after_ t.sim
+    ~delay:(Engine.Rng.exponential rng ~mean:(1. /. rate))
+    arrival
+
+let stop_traffic t ~tenant_id =
+  match Hashtbl.find_opt t.traffic tenant_id with
+  | None -> ()
+  | Some active ->
+    active := false;
+    Hashtbl.remove t.traffic tenant_id
+
+(* ------------------------------------------------------------------ *)
+(* Control plane                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let names tenants = List.map (fun tn -> tn.T.name) tenants
+
+let status t =
+  {
+    Proto.epoch = epoch t;
+    sim_time = Engine.Sim.now t.sim;
+    draining = t.draining;
+    policy = Qvisor.Policy.to_string (Qvisor.Runtime.policy t.runtime);
+    tenants =
+      List.map
+        (fun (tn : T.t) ->
+          {
+            Proto.ts_id = tn.T.id;
+            ts_name = tn.T.name;
+            ts_algorithm = tn.T.algorithm;
+            ts_health = Engine.Health.state t.health ~id:tn.T.id;
+          })
+        (Qvisor.Runtime.tenants t.runtime);
+    resyntheses = Qvisor.Runtime.resyntheses t.runtime;
+    remediations = t.remediations;
+  }
+
+let unavailable op =
+  Error
+    (Qvisor.Error.Unavailable
+       (Printf.sprintf "daemon is draining; %s refused" op))
+
+let handle_request t (req : Proto.request) : Proto.outcome =
+  match req with
+  | Proto.Status -> Ok (Proto.Status_reply (status t))
+  | Proto.Drain ->
+    t.draining <- true;
+    Ok Proto.Draining
+  | Proto.Shutdown ->
+    t.stopping <- true;
+    Ok Proto.Shutting_down
+  | Proto.Tenant_add _ when t.draining -> unavailable "tenant-add"
+  | Proto.Tenant_remove _ when t.draining -> unavailable "tenant-remove"
+  | Proto.Policy_update _ when t.draining -> unavailable "policy-update"
+  | Proto.Tenant_add { tenant; policy } -> (
+    let current = Qvisor.Runtime.tenants t.runtime in
+    if List.exists (fun x -> x.T.name = tenant.T.name) current then
+      Error
+        (Qvisor.Error.Config
+           (Printf.sprintf "tenant name %S already present" tenant.T.name))
+    else
+      let policy' =
+        Option.value policy ~default:(Qvisor.Runtime.policy t.runtime)
+      in
+      match
+        Qvisor.Policy.validate policy' ~known:(names (current @ [ tenant ]))
+      with
+      | Error e -> Error e
+      | Ok () -> (
+        (* Runtime.add_tenant synthesizes the extended plan off to the
+           side and swaps only on success: admission is atomic. *)
+        match Qvisor.Runtime.add_tenant t.runtime tenant ?policy () with
+        | Error e -> Error e
+        | Ok () ->
+          rebuild_slo t;
+          Engine.Health.watch t.health ~id:tenant.T.id ~name:tenant.T.name;
+          start_traffic t tenant;
+          mirror t tenant;
+          Ok (Proto.Added { epoch = epoch t })))
+  | Proto.Tenant_remove { tenant_id; policy } -> (
+    match Qvisor.Runtime.remove_tenant t.runtime ~tenant_id ?policy () with
+    | Error e -> Error e
+    | Ok () ->
+      stop_traffic t ~tenant_id;
+      Engine.Health.unwatch t.health ~id:tenant_id;
+      Remediation.forget t.remediation ~id:tenant_id;
+      rebuild_slo t;
+      Ok (Proto.Removed { epoch = epoch t }))
+  | Proto.Policy_update policy -> (
+    let current = Qvisor.Runtime.tenants t.runtime in
+    match Qvisor.Policy.validate policy ~known:(names current) with
+    | Error e -> Error e
+    | Ok () -> (
+      match Qvisor.Runtime.update_policy t.runtime policy with
+      | Error e -> Error e
+      | Ok () ->
+        rebuild_slo t;
+        Ok (Proto.Updated { epoch = epoch t })))
+
+(* ------------------------------------------------------------------ *)
+(* Scrape surface                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_body t =
+  let tenants = Qvisor.Runtime.tenants t.runtime in
+  let tenant_names = List.map (fun tn -> (tn.T.id, tn.T.name)) tenants in
+  let live =
+    List.concat_map (fun tn -> [ tn.T.name; string_of_int tn.T.id ]) tenants
+  in
+  (* The registry keeps counters of departed tenants forever (monotonic by
+     contract); the scrape surface only shows the serving population. *)
+  let keep (s : Engine.Exposition.sample) =
+    match List.assoc_opt "tenant" s.Engine.Exposition.labels with
+    | None -> true
+    | Some v -> List.mem v live
+  in
+  let families =
+    Engine.Exposition.families_of_registry ~tenant_names t.tel
+    |> List.filter_map (fun (f : Engine.Exposition.family) ->
+           match List.filter keep f.Engine.Exposition.samples with
+           | [] -> None
+           | samples -> Some { f with Engine.Exposition.samples })
+  in
+  let gauge name help value =
+    Engine.Exposition.family ~name ~help Engine.Exposition.Gauge
+      [ { Engine.Exposition.sample_name = name; labels = []; value } ]
+  in
+  let extra =
+    [
+      gauge "qvisor_epoch" "plan generation (1 + resyntheses)"
+        (float_of_int (epoch t));
+      gauge "qvisor_daemon_draining" "1 while draining, else 0"
+        (if t.draining then 1. else 0.);
+      Engine.Exposition.family ~name:"qvisor_remediations_total"
+        ~help:"remediation actions applied" Engine.Exposition.Counter
+        [
+          {
+            Engine.Exposition.sample_name = "qvisor_remediations_total";
+            labels = [];
+            value = float_of_int t.remediations;
+          };
+        ];
+    ]
+  in
+  Engine.Exposition.render_families
+    (families @ extra @ [ Engine.Exposition.scrape_timestamp_family () ])
+
+let healthz_body t =
+  let worst = Engine.Health.worst t.health in
+  ( Engine.Health.state_to_string worst ^ "\n",
+    worst <> Engine.Health.Violating )
+
+(* ------------------------------------------------------------------ *)
+(* Sockets                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] 0.05);
+      write_all fd s off len
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let send fd s = write_all fd s 0 (String.length s)
+
+let close_conn c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let bind_control path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 16;
+     Unix.set_nonblock fd;
+     Ok fd
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     Error
+       (Qvisor.Error.Config
+          (Printf.sprintf "cannot bind control socket %s: %s" path
+             (Unix.error_message err))))
+
+let bind_http port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 16;
+    Unix.set_nonblock fd;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    Ok (fd, bound)
+  with Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Qvisor.Error.Config
+         (Printf.sprintf "cannot bind http port %d: %s" port
+            (Unix.error_message err)))
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let rec process_control_lines t c =
+  if not c.closed then
+    match String.index_opt c.pending '\n' with
+    | None -> ()
+    | Some i ->
+      let line = strip_cr (String.sub c.pending 0 i) in
+      c.pending <-
+        String.sub c.pending (i + 1) (String.length c.pending - i - 1);
+      if line <> "" then begin
+        let outcome =
+          match Proto.parse_request line with
+          | Error e -> Error e
+          | Ok req -> handle_request t req
+        in
+        try send c.fd (Proto.outcome_line outcome)
+        with Unix.Unix_error _ -> close_conn c
+      end;
+      process_control_lines t c
+
+let serve_http t c =
+  if Http.head_complete c.pending then begin
+    let resp =
+      match Http.parse_request c.pending with
+      | Error e -> Http.bad_request e
+      | Ok { Http.meth = "GET"; target = "/metrics" } ->
+        Http.response (metrics_body t)
+      | Ok { Http.meth = "GET"; target = "/healthz" } ->
+        let body, ok = healthz_body t in
+        if ok then Http.response ~content_type:"text/plain" body
+        else
+          Http.response ~status:503 ~reason:"Service Unavailable"
+            ~content_type:"text/plain" body
+      | Ok { Http.meth = "GET"; _ } -> Http.not_found
+      | Ok _ -> Http.method_not_allowed
+    in
+    (try send c.fd resp with Unix.Unix_error _ -> ());
+    close_conn c
+  end
+
+let read_conn t c =
+  let bytes = Bytes.create 4096 in
+  match Unix.read c.fd bytes 0 4096 with
+  | 0 -> close_conn c
+  | n -> (
+    c.pending <- c.pending ^ Bytes.sub_string bytes 0 n;
+    match c.kind with
+    | `Ctl -> process_control_lines t c
+    | `Http -> serve_http t c)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn c
+
+let rec accept_all t kind fd =
+  match Unix.accept ~cloexec:true fd with
+  | cfd, _ ->
+    Unix.set_nonblock cfd;
+    t.conns <- { fd = cfd; kind; pending = ""; closed = false } :: t.conns;
+    accept_all t kind fd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+
+let poll t ~timeout =
+  let fds =
+    t.ctl_listen :: t.http_listen
+    :: List.filter_map (fun c -> if c.closed then None else Some c.fd) t.conns
+  in
+  match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, _, _ ->
+    if List.memq t.ctl_listen readable then accept_all t `Ctl t.ctl_listen;
+    if List.memq t.http_listen readable then accept_all t `Http t.http_listen;
+    List.iter
+      (fun c -> if (not c.closed) && List.memq c.fd readable then read_conn t c)
+      t.conns;
+    t.conns <- List.filter (fun c -> not c.closed) t.conns
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create config =
+  let ( let* ) = Result.bind in
+  let* () =
+    if config.slice <= 0. then
+      Error (Qvisor.Error.Config "slice must be positive")
+    else if config.load <= 0. then
+      Error (Qvisor.Error.Config "load must be positive")
+    else if config.drain_timeout < 0. then
+      Error (Qvisor.Error.Config "drain_timeout must be non-negative")
+    else Ok ()
+  in
+  let synth_config =
+    { Qvisor.Synthesizer.default_config with levels = config.levels }
+  in
+  let sim = Engine.Sim.create () in
+  let* runtime =
+    Qvisor.Runtime.create ~config:synth_config ~telemetry:config.telemetry
+      ~clock:(fun () -> Engine.Sim.now sim)
+      ~tenants:config.tenants ~policy:config.policy ()
+  in
+  let auditor = ref (make_auditor runtime ~load:config.load) in
+  let health = Engine.Health.create ?alerts:config.alerts () in
+  List.iter
+    (fun tn -> Engine.Health.watch health ~id:tn.T.id ~name:tn.T.name)
+    (Qvisor.Runtime.tenants runtime);
+  let topo =
+    Netsim.Topology.leaf_spine ~leaves ~spines ~hosts_per_leaf ~access_rate
+      ~fabric_rate ~link_delay
+  in
+  let routing = Netsim.Routing.compute topo in
+  let transport = Netsim.Transport.create ~sim () in
+  let make_qdisc =
+    match config.inject_qdisc with
+    | Some f -> fun _ -> f ~capacity_pkts:queue_capacity_pkts
+    | None ->
+      fun _ ->
+        Sched.Bucket_queue.create ~name:"pifo"
+          ~capacity_pkts:queue_capacity_pkts ()
+  in
+  let net =
+    Netsim.Net.create ~sim ~topo ~routing ~make_qdisc
+      ~preprocess:(Qvisor.Runtime.process runtime)
+      ~on_enqueue:(fun p -> Qvisor.Slo.on_enqueue !auditor p)
+      ~on_dequeue:(fun (p : Sched.Packet.t) ->
+        Qvisor.Slo.on_delay !auditor ~tenant_id:p.Sched.Packet.tenant
+          (Engine.Sim.now sim -. p.Sched.Packet.enqueued_at))
+      ~on_drop:(fun p -> Qvisor.Slo.on_drop !auditor p)
+      ~on_tie_inversion:(fun (p : Sched.Packet.t) ->
+        Qvisor.Slo.on_tie_inversion !auditor
+          ~tenant_id:p.Sched.Packet.tenant)
+      ~telemetry:config.telemetry
+      ~deliver:(Netsim.Transport.deliver transport)
+      ()
+  in
+  Netsim.Transport.attach transport net;
+  let* ctl_listen = bind_control config.socket_path in
+  let* http_listen, bound_port =
+    match bind_http config.http_port with
+    | Ok v -> Ok v
+    | Error e ->
+      (try Unix.close ctl_listen with Unix.Unix_error _ -> ());
+      (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+      Error e
+  in
+  let t =
+    {
+      config;
+      sim;
+      transport;
+      net;
+      runtime;
+      auditor;
+      health;
+      remediation = Remediation.create ~config:config.remediation ();
+      rng = Engine.Rng.create ~seed:config.seed;
+      tel = config.telemetry;
+      num_hosts = leaves * hosts_per_leaf;
+      traffic = Hashtbl.create 8;
+      ctl_listen;
+      http_listen;
+      bound_port;
+      conns = [];
+      draining = false;
+      stopping = false;
+      remediations = 0;
+    }
+  in
+  List.iter (fun tn -> start_traffic t tn) (Qvisor.Runtime.tenants runtime);
+  List.iter (fun tn -> mirror t tn) (Qvisor.Runtime.tenants runtime);
+  Ok t
+
+let cleanup t =
+  List.iter close_conn t.conns;
+  t.conns <- [];
+  (try Unix.close t.ctl_listen with Unix.Unix_error _ -> ());
+  (try Unix.close t.http_listen with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ());
+  Option.iter flush t.config.alerts;
+  Option.iter flush t.config.audit
+
+let serve t =
+  while not t.stopping do
+    let target = Engine.Sim.now t.sim +. t.config.slice in
+    Engine.Sim.run ~until:target t.sim;
+    tick t;
+    poll t ~timeout:0.002
+  done;
+  (* Drain-out: give in-flight flows up to [drain_timeout] simulated
+     seconds to land before tearing the fabric down. *)
+  let deadline = Engine.Sim.now t.sim +. t.config.drain_timeout in
+  let rec drain () =
+    if
+      Netsim.Transport.active_flows t.transport > 0
+      && Engine.Sim.now t.sim < deadline
+    then begin
+      let before = Engine.Sim.now t.sim in
+      Engine.Sim.run
+        ~until:(Float.min deadline (before +. t.config.slice))
+        t.sim;
+      if Engine.Sim.now t.sim > before then drain ()
+    end
+  in
+  drain ();
+  cleanup t

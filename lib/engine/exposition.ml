@@ -274,10 +274,26 @@ let render_families families =
            (mtype_to_string f.mtype));
       List.iter (render_sample buf) f.samples)
     families;
+  Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
-let render ?namespace ?tenant_names ?(extra = []) tel =
-  render_families (families_of_registry ?namespace ?tenant_names tel @ extra)
+(* Wall-clock scrape stamps must never run backwards (NTP steps, frozen
+   test clocks): clamp to the highest value handed out so far. *)
+let last_scrape_stamp = ref neg_infinity
+
+let scrape_timestamp_family ?namespace ?(now = Unix.gettimeofday) () =
+  let stamp = Float.max !last_scrape_stamp (now ()) in
+  last_scrape_stamp := stamp;
+  let name = base_name ?namespace "scrape_timestamp_seconds" in
+  family ~name ~help:"wall-clock time of this render (monotonic per process)"
+    Gauge
+    [ { sample_name = name; labels = []; value = stamp } ]
+
+let render ?namespace ?tenant_names ?(extra = []) ?now tel =
+  render_families
+    (families_of_registry ?namespace ?tenant_names tel
+    @ extra
+    @ [ scrape_timestamp_family ?namespace ?now () ])
 
 (* ------------------------------------------------------------------ *)
 (* Strict parser                                                      *)
@@ -474,6 +490,7 @@ let parse text =
     | _ -> lines
   in
   let types : (string, mtype) Hashtbl.t = Hashtbl.create 32 in
+  let helps : (string, unit) Hashtbl.t = Hashtbl.create 32 in
   let family_of name =
     match Hashtbl.find_opt types name with
     | Some t -> Some (name, t)
@@ -496,6 +513,17 @@ let parse text =
       | Ok line -> (
         let continue () = go (line :: acc) (lineno + 1) rest in
         match line with
+        | Comment " EOF" ->
+          if rest <> [] then
+            Error (Printf.sprintf "line %d: content after # EOF" (lineno + 1))
+          else continue ()
+        | Help { name; _ } ->
+          if Hashtbl.mem helps name then
+            Error (Printf.sprintf "line %d: duplicate HELP for %s" lineno name)
+          else begin
+            Hashtbl.add helps name ();
+            continue ()
+          end
         | Type { name; mtype } ->
           if Hashtbl.mem types name then
             Error (Printf.sprintf "line %d: duplicate TYPE for %s" lineno name)
@@ -517,6 +545,6 @@ let parse text =
                 (Printf.sprintf
                    "line %d: quantile label outside a summary sample" lineno)
             else continue ())
-        | Help _ | Comment _ | Blank -> continue ()))
+        | Comment _ | Blank -> continue ()))
   in
   go [] 1 lines

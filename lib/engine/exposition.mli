@@ -86,18 +86,27 @@ val families_of_registry :
 val render_families : family list -> string
 (** The families as exposition text: one [# HELP] and [# TYPE] line then
     the samples of each family, preceded by a single
-    ["# qvisor text exposition"] comment header (so even an empty list
-    renders a parseable, non-empty document). *)
+    ["# qvisor text exposition"] comment header and terminated by an
+    [# EOF] line (so even an empty list renders a parseable, non-empty,
+    visibly-complete document — a truncated scrape is detectable). *)
+
+val scrape_timestamp_family : ?namespace:string -> ?now:(unit -> float) -> unit -> family
+(** A one-sample gauge family [<namespace>_scrape_timestamp_seconds]
+    carrying [now ()] (default [Unix.gettimeofday]) clamped to be
+    monotonically non-decreasing across the whole process, so consecutive
+    scrapes can be ordered even through wall-clock steps. *)
 
 val render :
   ?namespace:string ->
   ?tenant_names:(int * string) list ->
   ?extra:family list ->
+  ?now:(unit -> float) ->
   Telemetry.t ->
   string
-(** [render_families (families_of_registry tel @ extra)], with [extra]
-    families (SLO objectives, health states…) appended after the registry
-    families. *)
+(** [render_families (families_of_registry tel @ extra @ [stamp])], with
+    [extra] families (SLO objectives, health states…) appended after the
+    registry families and a {!scrape_timestamp_family} (driven by [now])
+    always last. *)
 
 (** {1 Strict parser (tests / [--validate])} *)
 
@@ -120,6 +129,8 @@ val parse : string -> (line list, string) result
 (** Parse a whole document and enforce family discipline: every [Sample]
     must name a family declared by a preceding [# TYPE] (directly, or
     via its [_sum]/[_count] suffix for summaries), [quantile] labels may
-    only appear on summary samples, and duplicate [# TYPE] declarations
-    are rejected.  [Error] is prefixed with the 1-based offending line
+    only appear on summary samples, duplicate [# TYPE] {e and} duplicate
+    [# HELP] declarations are rejected (a repeated family means two
+    renders were concatenated), and nothing may follow an [# EOF]
+    terminator.  [Error] is prefixed with the 1-based offending line
     number. *)

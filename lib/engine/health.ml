@@ -41,6 +41,8 @@ let create ?(config = default_config) ?alerts () =
 let watch t ~id ~name =
   Hashtbl.replace t.subjects id { name; strikes = 0; current = Healthy }
 
+let unwatch t ~id = Hashtbl.remove t.subjects id
+
 let state_of_strikes t strikes =
   if strikes >= t.config.violating_strikes then Violating
   else if strikes >= t.config.degraded_strikes then Degraded

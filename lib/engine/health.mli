@@ -60,6 +60,11 @@ val watch : t -> id:int -> name:string -> unit
 (** Start tracking a subject ([Healthy], zero strikes).  Re-watching an
     id resets it. *)
 
+val unwatch : t -> id:int -> unit
+(** Stop tracking a subject (its state and strikes are dropped; no alert
+    is emitted).  Unwatching an untracked id is a no-op — the daemon
+    calls this when a tenant leaves. *)
+
 val observe :
   t ->
   id:int ->

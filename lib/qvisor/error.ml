@@ -4,6 +4,7 @@ type t =
   | Synthesis of string
   | Deploy of string
   | Config of string
+  | Unavailable of string
 
 let to_string = function
   | Policy_parse msg -> "policy: " ^ msg
@@ -11,6 +12,7 @@ let to_string = function
   | Synthesis msg -> "synthesis: " ^ msg
   | Deploy msg -> "deploy: " ^ msg
   | Config msg -> "config: " ^ msg
+  | Unavailable msg -> "unavailable: " ^ msg
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

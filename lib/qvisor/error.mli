@@ -21,6 +21,9 @@ type t =
   | Config of string
       (** malformed configuration: synthesizer config, experiment
           parameters, CLI arguments *)
+  | Unavailable of string
+      (** the service cannot take the request right now: a draining or
+          shutting-down daemon refusing control-plane mutations *)
 
 val to_string : t -> string
 (** Human-readable rendering, prefixed with the variant's domain,

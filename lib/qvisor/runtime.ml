@@ -16,7 +16,7 @@ let fresh_observation () =
   }
 
 type t = {
-  config : Synthesizer.config;
+  mutable config : Synthesizer.config;
   mutable tenants : Tenant.t list;
   mutable policy : Policy.t;
   pre : Preprocessor.t;
@@ -132,6 +132,27 @@ let remove_tenant t ~tenant_id ?policy () =
     let policy = Option.value policy ~default:t.policy in
     Hashtbl.remove t.observations tenant_id;
     redeploy t tenants policy
+  end
+
+let tenants t = t.tenants
+
+let policy t = t.policy
+
+let update_policy t policy = redeploy t t.tenants policy
+
+let config t = t.config
+
+let coarsen t ~levels =
+  if levels < 2 then
+    Error (Error.Config (Printf.sprintf "coarsen: levels %d < 2" levels))
+  else begin
+    let old = t.config in
+    t.config <- { t.config with Synthesizer.levels = Some levels };
+    match redeploy t t.tenants t.policy with
+    | Ok () -> Ok ()
+    | Error _ as e ->
+      t.config <- old;
+      e
   end
 
 let refresh t =

@@ -69,6 +69,26 @@ val remove_tenant :
     current one would still name the departed tenant (which it normally
     does). *)
 
+val tenants : t -> Tenant.t list
+(** The currently-deployed tenant population, in deployment order. *)
+
+val policy : t -> Policy.t
+(** The currently-deployed operator policy. *)
+
+val update_policy : t -> Policy.t -> (unit, Error.t) result
+(** Re-synthesize under a new operator policy for the unchanged tenant
+    population and atomically swap the plan in.  On failure the old plan
+    keeps serving — the daemon's admission pipeline leans on this. *)
+
+val config : t -> Synthesizer.config
+(** The synthesizer configuration future redeploys will use. *)
+
+val coarsen : t -> levels:int -> (unit, Error.t) result
+(** Remediation fallback: lower the quantization resolution to [levels]
+    and re-synthesize.  Atomic like every redeploy — on failure both the
+    plan {e and} the previous configuration are kept.
+    Fails with [Config] when [levels < 2]. *)
+
 val refresh : t -> (unit, Error.t) result
 (** Re-synthesize using the {e observed} rank ranges instead of the
     declared ones (tenants that emitted nothing keep their declaration),

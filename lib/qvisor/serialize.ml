@@ -27,8 +27,19 @@ let tenant_of_json json =
   let* algorithm = field "algorithm" json ~conv:J.to_str ~what:"tenant" in
   let* rank_lo = field "rank_lo" json ~conv:J.to_int ~what:"tenant" in
   let* rank_hi = field "rank_hi" json ~conv:J.to_int ~what:"tenant" in
-  let* weight = field "weight" json ~conv:J.to_float ~what:"tenant" in
-  match Tenant.make ~algorithm ~rank_lo ~rank_hi ~weight ~id ~name () with
+  (* Optional on the wire: Tenant.make has a sensible default, and
+     control-plane clients (tenant-add over the daemon socket) should not
+     have to invent one. *)
+  let* weight =
+    match J.member "weight" json with
+    | None -> Ok None
+    | Some j -> (
+      match J.to_float j with
+      | Some w -> Ok (Some w)
+      | None ->
+        Error (Error.Config "missing or ill-typed field \"weight\" in tenant"))
+  in
+  match Tenant.make ~algorithm ~rank_lo ~rank_hi ?weight ~id ~name () with
   | t -> Ok t
   | exception Invalid_argument e -> Error (Error.Config e)
 
@@ -170,3 +181,39 @@ let spec_of_json json =
   in
   let* policy = policy_of_json policy_json in
   Ok (tenants, policy)
+
+(* ------------------------------------------------------------------ *)
+(* Errors (the daemon wire protocol carries them in failure replies)  *)
+(* ------------------------------------------------------------------ *)
+
+let error_kind = function
+  | Error.Policy_parse _ -> "policy"
+  | Error.Unknown_tenant _ -> "unknown-tenant"
+  | Error.Synthesis _ -> "synthesis"
+  | Error.Deploy _ -> "deploy"
+  | Error.Config _ -> "config"
+  | Error.Unavailable _ -> "unavailable"
+
+let error_to_json (e : Error.t) =
+  let message =
+    match e with
+    | Error.Policy_parse m
+    | Error.Unknown_tenant m
+    | Error.Synthesis m
+    | Error.Deploy m
+    | Error.Config m
+    | Error.Unavailable m -> m
+  in
+  J.Obj [ ("kind", J.String (error_kind e)); ("message", J.String message) ]
+
+let error_of_json json =
+  let* kind = field "kind" json ~conv:J.to_str ~what:"error" in
+  let* message = field "message" json ~conv:J.to_str ~what:"error" in
+  match kind with
+  | "policy" -> Ok (Error.Policy_parse message)
+  | "unknown-tenant" -> Ok (Error.Unknown_tenant message)
+  | "synthesis" -> Ok (Error.Synthesis message)
+  | "deploy" -> Ok (Error.Deploy message)
+  | "config" -> Ok (Error.Config message)
+  | "unavailable" -> Ok (Error.Unavailable message)
+  | k -> Error (Error.Config (Printf.sprintf "unknown error kind %S" k))

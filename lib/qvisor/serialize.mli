@@ -34,3 +34,12 @@ val spec_to_json : tenants:Tenant.t list -> policy:Policy.t -> Engine.Json.t
 
 val spec_of_json :
   Engine.Json.t -> (Tenant.t list * Policy.t, Error.t) result
+
+val error_to_json : Error.t -> Engine.Json.t
+(** [{"kind": "synthesis", "message": ...}] — the form failure replies of
+    the daemon wire protocol carry.  Round-trips through
+    {!error_of_json}. *)
+
+val error_of_json : Engine.Json.t -> (Error.t, Error.t) result
+(** Inverse of {!error_to_json}; [Error] (a [Config]) on a malformed or
+    unknown-kind object. *)

@@ -170,9 +170,22 @@ let test_exposition_empty () =
   match Exp.parse text with
   | Error e -> Alcotest.fail e
   | Ok lines ->
-    Alcotest.(check int) "no samples in an empty registry" 0
-      (List.length
-         (List.filter (function Exp.Sample _ -> true | _ -> false) lines))
+    (* The render is never fully empty: every scrape carries its own
+       monotonic timestamp gauge (and nothing else here). *)
+    let samples =
+      List.filter_map
+        (function Exp.Sample s -> Some s | _ -> None)
+        lines
+    in
+    Alcotest.(check int) "only the scrape timestamp in an empty registry" 1
+      (List.length samples);
+    (match samples with
+    | [ s ] ->
+      Alcotest.(check string) "it is the scrape timestamp"
+        "qvisor_scrape_timestamp_seconds" s.Exp.sample_name
+    | _ -> ());
+    Alcotest.(check bool) "terminated by # EOF" true
+      (List.exists (function Exp.Comment " EOF" -> true | _ -> false) lines)
 
 let test_sanitize () =
   Alcotest.(check string) "invalid chars collapse" "net_port_3_drop"
