@@ -605,6 +605,19 @@ let run_engine ~trials ~min_time_s ~out ~mode () =
             ~rank_before:(-1) ~rank:42
         done)
   in
+  (* The retention store's hot path: one observation folded into every
+     tier.  Its alloc B/op column documents the allocation-free ingest
+     the /query PR promised. *)
+  let bench_tsdb () =
+    let store = Engine.Tsdb.create () in
+    let s = Engine.Tsdb.series store ~kind:Engine.Tsdb.Gauge "bench.gauge" in
+    let t = ref 0. in
+    bench "tsdb/observe" (fun n ->
+        for i = 1 to n do
+          t := !t +. 0.001;
+          Engine.Tsdb.observe store s ~time:!t (float_of_int i)
+        done)
+  in
   let entries =
     [
       bench_pifo ();
@@ -615,6 +628,7 @@ let run_engine ~trials ~min_time_s ~out ~mode () =
       bench_event_loop ();
       bench_preprocessor ();
       bench_recorder ();
+      bench_tsdb ();
     ]
   in
   List.iter
@@ -738,6 +752,63 @@ let run_profile () =
     "fig4 quick point: perf telemetry off %.3g events/s, on %.3g events/s \
      (overhead %.1f%%)@."
     rate_perf_off rate_perf_on perf_overhead;
+  (* The serve-loop snapshotter: fold the whole live registry into the
+     retention store, the walk Daemon.Server.snapshot performs once per
+     snapshot interval (default: every simulated second).  Measured
+     against a registry populated by a real quick-scale run, and reported
+     as a fraction of that run's wall time per simulated second — the
+     budget says < 2%. *)
+  let snap_tel = Engine.Telemetry.create () in
+  let snap_run =
+    match
+      Experiments.Fig4.run ~telemetry:snap_tel ~slo:true params scheme
+    with
+    | Error e -> failwith (Qvisor.Error.to_string e)
+    | Ok r -> r
+  in
+  let store = Engine.Tsdb.create () in
+  let snapshot ~time =
+    let obs kind name v =
+      Engine.Tsdb.observe store (Engine.Tsdb.series store ~kind name) ~time v
+    in
+    List.iter
+      (fun (name, v) -> obs Engine.Tsdb.Counter name (float_of_int v))
+      (Engine.Telemetry.exported_counters snap_tel);
+    List.iter
+      (fun (name, v) -> obs Engine.Tsdb.Gauge name v)
+      (Engine.Telemetry.exported_gauges snap_tel);
+    List.iter
+      (fun (name, h) ->
+        let count = Engine.Telemetry.Histogram.count h in
+        obs Engine.Tsdb.Counter (name ^ ".count") (float_of_int count);
+        if count > 0 then begin
+          obs Engine.Tsdb.Gauge (name ^ ".p50")
+            (Engine.Telemetry.Histogram.quantile h 0.5);
+          obs Engine.Tsdb.Gauge (name ^ ".p99")
+            (Engine.Telemetry.Histogram.quantile h 0.99)
+        end)
+      (Engine.Telemetry.exported_histograms snap_tel)
+  in
+  let snap_iters = 20_000 in
+  snapshot ~time:0.;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to snap_iters do
+    snapshot ~time:(float_of_int i)
+  done;
+  let snap_dt = Unix.gettimeofday () -. t0 in
+  let snap_ns = 1e9 *. snap_dt /. float_of_int snap_iters in
+  (* Wall seconds this run needs to simulate one second, vs one snapshot
+     per simulated second. *)
+  let wall_per_sim_s =
+    snap_run.Experiments.Fig4.wall_seconds
+    /. params.Experiments.Fig4.duration
+  in
+  let snap_overhead = 100. *. (snap_ns /. 1e9) /. wall_per_sim_s in
+  Format.printf
+    "tsdb snapshot: %d series in %.1f us/snapshot (%.4f%% of the fig4 quick \
+     point's wall time per simulated second)@."
+    (Engine.Tsdb.series_count store)
+    (snap_ns /. 1e3) snap_overhead;
   write_json "BENCH_profile.json"
     (Engine.Json.Obj
        [
@@ -775,6 +846,15 @@ let run_profile () =
                ("on", Engine.Json.Number rate_perf_on);
              ] );
          ("perf_overhead_pct", Engine.Json.Number perf_overhead);
+         ( "tsdb_snapshot",
+           Engine.Json.Obj
+             [
+               ( "series",
+                 Engine.Json.Number
+                   (float_of_int (Engine.Tsdb.series_count store)) );
+               ("ns_per_snapshot", Engine.Json.Number snap_ns);
+               ("overhead_pct", Engine.Json.Number snap_overhead);
+             ] );
        ]);
   (* Where a quick Fig. 4 run spends its time (the committed span
      breakdown in results_profile.txt comes from here). *)

@@ -1014,8 +1014,27 @@ let serve_cmd =
     Arg.(
       value & opt (some fault_conv) None & info [ "inject" ] ~docv:"FAULT" ~doc)
   in
+  let pace_arg =
+    let doc =
+      "Pace the slice loop to the wall clock (one simulated second per real \
+       second) instead of free-running; waiting happens inside the socket \
+       poll, so the control plane stays live."
+    in
+    Arg.(value & flag & info [ "pace" ] ~doc)
+  in
+  let snapshot_arg =
+    let doc =
+      "Simulated time between retention-store snapshots of the live registry \
+       (e.g. 1s, 500ms) — the resolution floor of $(b,GET /query)."
+    in
+    Arg.(
+      value
+      & opt Cliopts.duration 1.0
+      & info [ "snapshot-interval" ] ~docv:"DURATION" ~doc)
+  in
   let run tenant_specs policy_str levels spec_file socket_path http_port seed
-      load slice cooldown drain_timeout alerts audit inject =
+      load slice cooldown drain_timeout alerts audit inject pace
+      snapshot_interval =
     let default = Daemon.Server.default_config in
     let tenants, policy =
       (* Unlike the one-shot commands, serving something is more useful
@@ -1054,6 +1073,8 @@ let serve_cmd =
         alerts = alerts_oc;
         audit = audit_oc;
         inject_qdisc = Option.map Conformance.Fault.qdisc inject;
+        pace;
+        snapshot_interval;
       }
     in
     match Daemon.Server.create config with
@@ -1090,7 +1111,134 @@ let serve_cmd =
     Term.(
       const run $ tenants_arg $ policy_arg $ levels_arg $ spec_file_arg
       $ socket_arg $ http_arg $ seed_arg $ load_arg $ slice_arg $ cooldown_arg
-      $ drain_arg $ alerts_arg $ audit_arg $ inject_serve_arg)
+      $ drain_arg $ alerts_arg $ audit_arg $ inject_serve_arg $ pace_arg
+      $ snapshot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top / report: live dashboard and incident post-mortem over /query  *)
+(* ------------------------------------------------------------------ *)
+
+let dash_http_arg =
+  let doc = "HTTP port of the running $(b,qvisor-cli serve) daemon." in
+  Arg.(value & opt int 9109 & info [ "http" ] ~docv:"PORT" ~doc)
+
+let dash_host_arg =
+  let doc = "Daemon host." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let dash_window_arg =
+  let doc = "History window to query (e.g. 60s, 5m)." in
+  Arg.(
+    value & opt Cliopts.duration 60. & info [ "window" ] ~docv:"DURATION" ~doc)
+
+let dash_series_arg =
+  let doc =
+    "Series selection pattern ($(b,*) is a wildcard), e.g. \
+     $(b,net.tenant.*)."
+  in
+  Arg.(value & opt string "*" & info [ "series" ] ~docv:"PATTERN" ~doc)
+
+let dash_query ~window ~series ~step =
+  let encode s =
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' | '*' ->
+             String.make 1 c
+           | c -> Printf.sprintf "%%%02X" (Char.code c))
+         (List.init (String.length s) (String.get s)))
+  in
+  Printf.sprintf "start=-%g&series=%s%s" window (encode series)
+    (match step with None -> "" | Some s -> Printf.sprintf "&step=%g" s)
+
+let top_cmd =
+  let once_arg =
+    let doc = "Render a single frame and exit (no ANSI screen clearing)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Wall-clock refresh interval in live mode (e.g. 2s)." in
+    Arg.(
+      value & opt Cliopts.duration 2. & info [ "interval" ] ~docv:"DURATION" ~doc)
+  in
+  let color_arg =
+    let doc = "Force ANSI colors on ($(b,always)) or off ($(b,never))." in
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("always", `Always); ("never", `Never) ])
+          `Auto
+      & info [ "color" ] ~docv:"WHEN" ~doc)
+  in
+  let run host port window series once interval color =
+    let color =
+      match color with
+      | `Always -> true
+      | `Never -> false
+      | `Auto -> (not once) && Unix.isatty Unix.stdout
+    in
+    let query = dash_query ~window ~series ~step:None in
+    let frame () =
+      match Daemon.Dash.fetch ~host ~port ~query () with
+      | Error e ->
+        Format.eprintf "top: %s@." e;
+        exit 1
+      | Ok data -> Daemon.Dash.render_top ~color data
+    in
+    if once then print_string (frame ())
+    else begin
+      let running = ref true in
+      Cliopts.on_signal (fun _ -> running := false);
+      while !running do
+        let body = frame () in
+        (* Clear + home, draw the frame atomically to cut flicker. *)
+        print_string ("\027[2J\027[H" ^ body);
+        flush stdout;
+        Unix.sleepf interval
+      done;
+      print_newline ()
+    end
+  in
+  let doc =
+    "Live terminal dashboard over a running daemon's $(b,GET /query) range \
+     API: per-tenant throughput / drop / delay-p99 / burn-rate sparklines \
+     with health badges and recent incident annotations."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run $ dash_host_arg $ dash_http_arg $ dash_window_arg
+      $ dash_series_arg $ once_arg $ interval_arg $ color_arg)
+
+let report_cmd =
+  let top_n_arg =
+    let doc = "Ranked movers to keep per incident." in
+    Arg.(value & opt Cliopts.pos_int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let report_window_arg =
+    let doc = "History window to post-mortem (e.g. 10m; default: all 4h)." in
+    Arg.(
+      value
+      & opt Cliopts.duration 14400.
+      & info [ "window" ] ~docv:"DURATION" ~doc)
+  in
+  let run host port window series top_n =
+    let query = dash_query ~window ~series ~step:None in
+    match Daemon.Dash.fetch ~host ~port ~query () with
+    | Error e ->
+      Format.eprintf "report: %s@." e;
+      exit 1
+    | Ok data -> print_string (Daemon.Dash.render_report ~top_n data)
+  in
+  let doc =
+    "Incident post-mortem from a running daemon's retention store: for each \
+     annotation (health transition, remediation attempt, drop spike) in the \
+     window, the before/after deltas of every series that moved, ranked by \
+     relative change."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ dash_host_arg $ dash_http_arg $ report_window_arg
+      $ dash_series_arg $ top_n_arg)
 
 let () =
   let doc = "QVISOR control-plane tools" in
@@ -1107,4 +1255,6 @@ let () =
             bench_cmd;
             trace_cmd;
             serve_cmd;
+            top_cmd;
+            report_cmd;
           ]))

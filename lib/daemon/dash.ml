@@ -1,0 +1,398 @@
+module J = Engine.Json
+
+type point = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  last : float;
+}
+
+type series = {
+  name : string;
+  kind : string;
+  tenant : string option;
+  start : float;
+  step : float;
+  points : point option array;
+}
+
+type annotation = {
+  a_time : float;
+  a_kind : string;
+  a_tenant : string option;
+  a_detail : string;
+}
+
+type tenant = { id : int; name : string; algorithm : string; health : string }
+
+type data = {
+  now : float;
+  sim_time : float;
+  uptime_seconds : float;
+  window_start : float;
+  window_stop : float;
+  series_count : int;
+  memory_bytes : int;
+  per_series_bytes : int;
+  tenants : tenant list;
+  series : series list;
+  annotations : annotation list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name json ~conv =
+  match Option.bind (J.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "/query reply: missing or ill-typed %S" name)
+
+let opt_str name json =
+  match J.member name json with Some (J.String s) -> Some s | _ -> None
+
+let point_of_json = function
+  | J.Null -> Ok None
+  | J.List
+      [ J.Number count; J.Number sum; J.Number min; J.Number max; J.Number last ]
+    ->
+    Ok (Some { count = int_of_float count; sum; min; max; last })
+  | _ -> Error "/query reply: malformed point"
+
+let all results =
+  List.fold_left
+    (fun acc r ->
+      let* acc = acc in
+      let* v = r in
+      Ok (v :: acc))
+    (Ok []) results
+  |> Result.map List.rev
+
+let series_of_json json =
+  let* name = field "name" json ~conv:J.to_str in
+  let* kind = field "kind" json ~conv:J.to_str in
+  let tenant = opt_str "tenant" json in
+  let* start = field "start" json ~conv:J.to_float in
+  let* step = field "step" json ~conv:J.to_float in
+  let* point_jsons = field "points" json ~conv:J.to_list in
+  let* points = all (List.map point_of_json point_jsons) in
+  Ok { name; kind; tenant; start; step; points = Array.of_list points }
+
+let annotation_of_json json =
+  let* a_time = field "t" json ~conv:J.to_float in
+  let* a_kind = field "kind" json ~conv:J.to_str in
+  let a_tenant = opt_str "tenant" json in
+  let* a_detail = field "detail" json ~conv:J.to_str in
+  Ok { a_time; a_kind; a_tenant; a_detail }
+
+let tenant_of_json json =
+  let* id = field "id" json ~conv:J.to_int in
+  let* name = field "name" json ~conv:J.to_str in
+  let* algorithm = field "algorithm" json ~conv:J.to_str in
+  let* health = field "health" json ~conv:J.to_str in
+  Ok { id; name; algorithm; health }
+
+let data_of_json json =
+  let* now = field "now" json ~conv:J.to_float in
+  let* sim_time = field "sim_time" json ~conv:J.to_float in
+  let* uptime_seconds = field "uptime_seconds" json ~conv:J.to_float in
+  let* window_start = field "start" json ~conv:J.to_float in
+  let* window_stop = field "end" json ~conv:J.to_float in
+  let* series_count = field "series_count" json ~conv:J.to_int in
+  let* memory_bytes = field "memory_bytes" json ~conv:J.to_int in
+  let* per_series_bytes = field "per_series_bytes" json ~conv:J.to_int in
+  let* tenant_jsons = field "tenants" json ~conv:J.to_list in
+  let* tenants = all (List.map tenant_of_json tenant_jsons) in
+  let* series_jsons = field "series" json ~conv:J.to_list in
+  let* series = all (List.map series_of_json series_jsons) in
+  let* ann_jsons = field "annotations" json ~conv:J.to_list in
+  let* annotations = all (List.map annotation_of_json ann_jsons) in
+  Ok
+    {
+      now;
+      sim_time;
+      uptime_seconds;
+      window_start;
+      window_stop;
+      series_count;
+      memory_bytes;
+      per_series_bytes;
+      tenants;
+      series;
+      annotations;
+    }
+
+let data_of_body body =
+  let* json = J.of_string body in
+  data_of_json json
+
+let fetch ?host ~port ~query () =
+  let target = if query = "" then "/query" else "/query?" ^ query in
+  match Http.get ?host ~port target with
+  | Error e -> Error e
+  | Ok (200, body) -> data_of_body body
+  | Ok (status, body) ->
+    Error (Printf.sprintf "/query returned %d: %s" status (String.trim body))
+
+(* ------------------------------------------------------------------ *)
+(* Series views                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let find_series data name =
+  List.find_opt (fun (s : series) -> s.name = name) data.series
+
+let values (s : series) =
+  Array.map
+    (function
+      | None -> None
+      | Some p -> Some (if s.kind = "counter" then p.sum /. s.step else p.last))
+    s.points
+
+let latest vs =
+  let out = ref None in
+  Array.iter (function Some v -> out := Some v | None -> ()) vs;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spark_levels = [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}";
+                      "\u{2585}"; "\u{2586}"; "\u{2587}"; "\u{2588}" |]
+
+let sparkline ?(width = 24) vs =
+  let n = Array.length vs in
+  let off = if n > width then n - width else 0 in
+  let hi =
+    Array.fold_left
+      (fun acc -> function Some v when v > acc -> v | _ -> acc)
+      0. vs
+  in
+  let buf = Buffer.create (width * 3) in
+  for i = off to n - 1 do
+    match vs.(i) with
+    | None -> Buffer.add_char buf ' '
+    | Some v ->
+      let level =
+        if hi <= 0. then 0
+        else Stdlib.min 7 (int_of_float (v /. hi *. 7.999))
+      in
+      Buffer.add_string buf spark_levels.(Stdlib.max 0 level)
+  done;
+  Buffer.contents buf
+
+let health_badge ?(color = false) state =
+  let sym, code =
+    match state with
+    | "healthy" -> ("\u{25CF}", "\027[32m")
+    | "degraded" -> ("\u{25D0}", "\027[33m")
+    | "violating" -> ("\u{2716}", "\027[31m")
+    | _ -> ("?", "")
+  in
+  let text = sym ^ " " ^ state in
+  if color && code <> "" then code ^ text ^ "\027[0m" else text
+
+(* Fixed-width cell padding that ignores ANSI escapes and counts UTF-8
+   code points, not bytes — sparklines and badges are multi-byte. *)
+let display_width s =
+  let n = String.length s in
+  let w = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let c = Char.code s.[!i] in
+    if c = 0x1b then begin
+      (* skip CSI sequence *)
+      incr i;
+      while !i < n && not (Char.code s.[!i] >= 0x40 && s.[!i] <> '[') do
+        incr i
+      done;
+      incr i
+    end
+    else begin
+      (* count only UTF-8 lead bytes *)
+      if c land 0xC0 <> 0x80 then incr w;
+      incr i
+    end
+  done;
+  !w
+
+let pad width s =
+  let w = display_width s in
+  if w >= width then s ^ " " else s ^ String.make (width - w + 1) ' '
+
+let fmt_si v =
+  let a = Float.abs v in
+  if a >= 1e9 then Printf.sprintf "%.1fG" (v /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
+  else if a >= 1e4 then Printf.sprintf "%.0fk" (v /. 1e3)
+  else if a >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else if a >= 100. then Printf.sprintf "%.0f" v
+  else if a >= 1. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let fmt_seconds v =
+  let a = Float.abs v in
+  if a >= 1. then Printf.sprintf "%.2fs" v
+  else if a >= 1e-3 then Printf.sprintf "%.1fms" (v *. 1e3)
+  else if a >= 1e-6 then Printf.sprintf "%.0fus" (v *. 1e6)
+  else if a = 0. then "0"
+  else Printf.sprintf "%.0fns" (v *. 1e9)
+
+let fmt_bytes b =
+  let f = float_of_int b in
+  if f >= 1048576. then Printf.sprintf "%.1fMiB" (f /. 1048576.)
+  else if f >= 1024. then Printf.sprintf "%.1fKiB" (f /. 1024.)
+  else Printf.sprintf "%dB" b
+
+let tenant_series data (tn : tenant) suffix =
+  find_series data (Printf.sprintf "%s%d%s" "net.tenant." tn.id suffix)
+
+let annotation_line a =
+  Printf.sprintf "  %8.2fs  [%s]%s %s" a.a_time a.a_kind
+    (match a.a_tenant with Some t -> " " ^ t ^ ":" | None -> "")
+    a.a_detail
+
+let render_top ?(color = false) data =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "qvisor top \u{2014} sim %.2fs  up %.1fs  window [%.1fs, %.1fs]  %d \
+        series in %s (fixed)\n"
+       data.sim_time data.uptime_seconds data.window_start data.window_stop
+       data.series_count (fmt_bytes data.memory_bytes));
+  Buffer.add_string buf
+    (pad 10 "TENANT" ^ pad 8 "ALGO" ^ pad 12 "HEALTH"
+    ^ pad 32 "THROUGHPUT pkt/s"
+    ^ pad 32 "DROPS pkt/s" ^ pad 22 "DELAY p99" ^ "BURN fast\n");
+  List.iter
+    (fun (tn : tenant) ->
+      let cell suffix =
+        match tenant_series data tn suffix with
+        | None -> (None, [||])
+        | Some s ->
+          let vs = values s in
+          (latest vs, vs)
+      in
+      let thr, thr_vs = cell ".dequeue" in
+      let drop, drop_vs = cell ".drop" in
+      let delay_vs =
+        match
+          find_series data
+            (Printf.sprintf "slo.tenant.%d.delay_quantile_seconds" tn.id)
+        with
+        | None -> [||]
+        | Some s -> values s
+      in
+      let burn_vs =
+        match find_series data (Printf.sprintf "slo.tenant.%d.fast_burn" tn.id) with
+        | None -> [||]
+        | Some s -> values s
+      in
+      let num fmt = function None -> "-" | Some v -> fmt v in
+      let rate_cell v vs =
+        pad 32 (Printf.sprintf "%s %s" (num fmt_si v) (sparkline vs))
+      in
+      Buffer.add_string buf
+        (pad 10 tn.name ^ pad 8 tn.algorithm
+        ^ pad 12 (health_badge ~color tn.health)
+        ^ rate_cell thr thr_vs ^ rate_cell drop drop_vs
+        ^ pad 22
+            (Printf.sprintf "%s %s"
+               (num fmt_seconds (latest delay_vs))
+               (sparkline ~width:12 delay_vs))
+        ^ Printf.sprintf "%s %s\n"
+            (num fmt_si (latest burn_vs))
+            (sparkline ~width:12 burn_vs)))
+    data.tenants;
+  (match data.annotations with
+  | [] -> ()
+  | anns ->
+    Buffer.add_string buf "recent incidents:\n";
+    let last8 =
+      let n = List.length anns in
+      if n <= 8 then anns else List.filteri (fun i _ -> i >= n - 8) anns
+    in
+    List.iter
+      (fun a -> Buffer.add_string buf (annotation_line a ^ "\n"))
+      last8);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Post-mortem report                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Bucket mean of up to [w] populated buckets strictly before (after)
+   the incident bucket. *)
+let window_mean vs (s : series) ~incident ~w ~side =
+  let n = Array.length vs in
+  let bucket_of t = int_of_float ((t -. s.start) /. s.step) in
+  let pivot = bucket_of incident in
+  let lo, hi =
+    match side with
+    | `Before -> (Stdlib.max 0 (pivot - w), Stdlib.min n pivot)
+    | `After -> (Stdlib.max 0 pivot, Stdlib.min n (pivot + w))
+  in
+  let sum = ref 0. and cnt = ref 0 in
+  for i = lo to hi - 1 do
+    match vs.(i) with
+    | Some v ->
+      sum := !sum +. v;
+      incr cnt
+    | None -> ()
+  done;
+  if !cnt = 0 then None else Some (!sum /. float_of_int !cnt)
+
+let render_report ?(top_n = 10) data =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "qvisor report \u{2014} window [%.1fs, %.1fs], %d series, %d incidents\n"
+       data.window_start data.window_stop (List.length data.series)
+       (List.length data.annotations));
+  if data.annotations = [] then
+    Buffer.add_string buf "no incidents in the window.\n"
+  else
+    List.iter
+      (fun a ->
+        Buffer.add_string buf ("\nincident:" ^ annotation_line a ^ "\n");
+        let movers =
+          List.filter_map
+            (fun (s : series) ->
+              let vs = values s in
+              let before =
+                window_mean vs s ~incident:a.a_time ~w:5 ~side:`Before
+              in
+              let after =
+                window_mean vs s ~incident:a.a_time ~w:5 ~side:`After
+              in
+              match (before, after) with
+              | Some b, Some f ->
+                let rel =
+                  (f -. b) /. (Stdlib.max (Float.abs b) (Float.abs f) +. 1e-12)
+                in
+                if Float.abs rel < 0.01 then None else Some (s.name, b, f, rel)
+              | _ -> None)
+            data.series
+          |> List.sort (fun (_, _, _, x) (_, _, _, y) ->
+                 Float.compare (Float.abs y) (Float.abs x))
+        in
+        match movers with
+        | [] -> Buffer.add_string buf "  no series moved.\n"
+        | movers ->
+          let kept = List.filteri (fun i _ -> i < top_n) movers in
+          List.iter
+            (fun (name, b, f, rel) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %+7.1f%%  %s  %s \u{2192} %s\n" (rel *. 100.)
+                   (pad 40 name) (fmt_si b) (fmt_si f)))
+            kept;
+          let dropped = List.length movers - List.length kept in
+          if dropped > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf "  (%d more series moved < rank %d)\n" dropped
+                 top_n))
+      data.annotations;
+  Buffer.contents buf

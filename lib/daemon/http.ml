@@ -24,6 +24,58 @@ let parse_request head =
     Ok { meth; target }
   | _ -> Error (Printf.sprintf "malformed request line %S" line)
 
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '%' when i + 2 < n -> (
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some hi, Some lo ->
+          Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+          go (i + 3)
+        | _ ->
+          Buffer.add_char buf '%';
+          go (i + 1))
+      | '+' ->
+        Buffer.add_char buf ' ';
+        go (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some q ->
+    let path = String.sub target 0 q in
+    let rest = String.sub target (q + 1) (String.length target - q - 1) in
+    let params =
+      String.split_on_char '&' rest
+      |> List.filter_map (fun kv ->
+             if kv = "" then None
+             else
+               match String.index_opt kv '=' with
+               | None -> Some (percent_decode kv, "")
+               | Some e ->
+                 Some
+                   ( percent_decode (String.sub kv 0 e),
+                     percent_decode
+                       (String.sub kv (e + 1) (String.length kv - e - 1)) ))
+    in
+    (path, params)
+
 let response ?(status = 200) ?(reason = "OK")
     ?(content_type = "text/plain; version=0.0.4; charset=utf-8") body =
   Printf.sprintf
@@ -42,3 +94,63 @@ let method_not_allowed =
 let bad_request err =
   response ~status:400 ~reason:"Bad Request" ~content_type:"text/plain"
     (err ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* A blocking one-shot client, for qvisor-cli top/report polling the  *)
+(* daemon's own surface.  Connection-close protocol: read to EOF.     *)
+(* ------------------------------------------------------------------ *)
+
+let split_head_body raw =
+  let find needle =
+    let n = String.length needle and h = String.length raw in
+    let rec at i = if i + n > h then None else if String.sub raw i n = needle then Some i else at (i + 1) in
+    at 0
+  in
+  match find "\r\n\r\n" with
+  | Some i -> (String.sub raw 0 i, String.sub raw (i + 4) (String.length raw - i - 4))
+  | None -> (
+    match find "\n\n" with
+    | Some i ->
+      (String.sub raw 0 i, String.sub raw (i + 2) (String.length raw - i - 2))
+    | None -> (raw, ""))
+
+let parse_status head =
+  match String.split_on_char ' ' head with
+  | _ :: code :: _ -> ( try int_of_string code with _ -> 0)
+  | _ -> 0
+
+let get ?(host = "127.0.0.1") ~port target =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        let req =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
+            target host port
+        in
+        let rec send off =
+          if off < String.length req then
+            send (off + Unix.write_substring fd req off (String.length req - off))
+        in
+        send 0;
+        let buf = Bytes.create 65536 in
+        let out = Buffer.create 4096 in
+        let rec drain () =
+          let n = Unix.read fd buf 0 (Bytes.length buf) in
+          if n > 0 then begin
+            Buffer.add_subbytes out buf 0 n;
+            drain ()
+          end
+        in
+        drain ();
+        Buffer.contents out)
+  with
+  | raw ->
+    let head, body = split_head_body raw in
+    let status = parse_status head in
+    if status = 0 then Error (Printf.sprintf "malformed response %S" head)
+    else Ok (status, body)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Failure msg -> Error msg

@@ -17,6 +17,15 @@ val parse_request : string -> (request, string) result
     HTTP version checked to be [HTTP/1.x].  Headers are ignored — the
     daemon serves only bodyless [GET]s. *)
 
+val percent_decode : string -> string
+(** URL percent-decoding ([%41] → [A], [+] → space); malformed escapes
+    pass through literally. *)
+
+val split_target : string -> string * (string * string) list
+(** Split a request target into its path and decoded query parameters:
+    [split_target "/query?series=net.%2A&step=5" =
+    ("/query", [("series", "net.*"); ("step", "5")])]. *)
+
 val response :
   ?status:int -> ?reason:string -> ?content_type:string -> string -> string
 (** A full response with [Content-Length] and [Connection: close]
@@ -31,3 +40,10 @@ val method_not_allowed : string
 
 val bad_request : string -> string
 (** A canned [400] carrying the parse error. *)
+
+val get :
+  ?host:string -> port:int -> string -> (int * string, string) result
+(** A blocking one-shot [GET] against [host] (default [127.0.0.1]):
+    connect, send, read to EOF (the daemon speaks [Connection: close]),
+    return [(status, body)].  [Error] carries the socket-level failure —
+    this is the client side used by [qvisor-cli top] and [report]. *)

@@ -18,11 +18,14 @@ type tenant_status = {
 type status = {
   epoch : int;
   sim_time : float;
+  uptime_seconds : float;
   draining : bool;
   policy : string;
   tenants : tenant_status list;
   resyntheses : int;
   remediations : int;
+  tsdb_series : int;
+  tsdb_memory_bytes : int;
 }
 
 type reply =
@@ -147,11 +150,14 @@ let status_to_json s =
     [
       ("epoch", J.Number (float_of_int s.epoch));
       ("sim_time", J.Number s.sim_time);
+      ("uptime_seconds", J.Number s.uptime_seconds);
       ("draining", J.Bool s.draining);
       ("policy", J.String s.policy);
       ("tenants", J.List (List.map tenant_status_to_json s.tenants));
       ("resyntheses", J.Number (float_of_int s.resyntheses));
       ("remediations", J.Number (float_of_int s.remediations));
+      ("tsdb_series", J.Number (float_of_int s.tsdb_series));
+      ("tsdb_memory_bytes", J.Number (float_of_int s.tsdb_memory_bytes));
     ]
 
 let status_of_json json =
@@ -172,7 +178,29 @@ let status_of_json json =
   in
   let* resyntheses = field "resyntheses" json ~conv:J.to_int ~what in
   let* remediations = field "remediations" json ~conv:J.to_int ~what in
-  Ok { epoch; sim_time; draining; policy; tenants; resyntheses; remediations }
+  (* Post-PR-8 additions: tolerate their absence so a newer client can
+     still read an older daemon's status line. *)
+  let opt name ~conv ~default =
+    match Option.bind (J.member name json) conv with
+    | Some v -> v
+    | None -> default
+  in
+  let uptime_seconds = opt "uptime_seconds" ~conv:J.to_float ~default:0. in
+  let tsdb_series = opt "tsdb_series" ~conv:J.to_int ~default:0 in
+  let tsdb_memory_bytes = opt "tsdb_memory_bytes" ~conv:J.to_int ~default:0 in
+  Ok
+    {
+      epoch;
+      sim_time;
+      uptime_seconds;
+      draining;
+      policy;
+      tenants;
+      resyntheses;
+      remediations;
+      tsdb_series;
+      tsdb_memory_bytes;
+    }
 
 let reply_fields = function
   | Added { epoch } ->

@@ -41,11 +41,14 @@ type tenant_status = {
 type status = {
   epoch : int;  (** plan generation: 1 at startup, +1 per successful swap *)
   sim_time : float;  (** simulated seconds served so far *)
+  uptime_seconds : float;  (** wall-clock seconds since the daemon started *)
   draining : bool;
   policy : string;  (** operator syntax of the serving policy *)
   tenants : tenant_status list;  (** tenant-id order *)
   resyntheses : int;
   remediations : int;  (** remediation actions fired so far *)
+  tsdb_series : int;  (** retention-store series interned so far *)
+  tsdb_memory_bytes : int;  (** {!Engine.Tsdb.memory_bytes} — fixed bound *)
 }
 
 type reply =

@@ -15,6 +15,8 @@ type config = {
   alerts : out_channel option;
   audit : out_channel option;
   inject_qdisc : (capacity_pkts:int -> Sched.Qdisc.t) option;
+  pace : bool;  (* sleep the slice loop to wall-clock instead of free-running *)
+  snapshot_interval : float;  (* simulated seconds between tsdb snapshots *)
 }
 
 (* The serving fabric is the paper's quick-scale leaf-spine evaluation
@@ -68,6 +70,8 @@ let default_config =
     alerts = None;
     audit = None;
     inject_qdisc = None;
+    pace = false;
+    snapshot_interval = 1.0;
   }
 
 type conn = {
@@ -88,6 +92,9 @@ type t = {
   remediation : Remediation.t;
   rng : Engine.Rng.t;
   tel : Engine.Telemetry.t;
+  tsdb : Engine.Tsdb.t;
+  started_wall : float;
+  mutable next_snapshot : float;
   num_hosts : int;
   traffic : (int, bool ref) Hashtbl.t;  (* tenant id -> arrivals-alive flag *)
   ctl_listen : Unix.file_descr;
@@ -102,6 +109,10 @@ type t = {
 let epoch t = Qvisor.Runtime.resyntheses t.runtime + 1
 
 let sim_time t = Engine.Sim.now t.sim
+
+let tsdb t = t.tsdb
+
+let uptime_seconds t = Unix.gettimeofday () -. t.started_wall
 
 let http_port t = t.bound_port
 
@@ -158,6 +169,40 @@ let mirror t (tn : T.t) =
       (health_severity (Engine.Health.state t.health ~id))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Retention store                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let annotate t ~kind ?tenant ~detail () =
+  Engine.Tsdb.annotate t.tsdb ~time:(Engine.Sim.now t.sim) ~kind ?tenant ~detail
+    ()
+
+(* One snapshot folds the entire live registry into the retention store:
+   every exported counter (cumulative, converted to increments inside
+   Tsdb), every gauge, and the p50/p99/count of every histogram. *)
+let snapshot t =
+  let now = Engine.Sim.now t.sim in
+  let obs kind name v =
+    Engine.Tsdb.observe t.tsdb (Engine.Tsdb.series t.tsdb ~kind name) ~time:now v
+  in
+  List.iter
+    (fun (name, v) -> obs Engine.Tsdb.Counter name (float_of_int v))
+    (Engine.Telemetry.exported_counters t.tel);
+  List.iter
+    (fun (name, v) -> obs Engine.Tsdb.Gauge name v)
+    (Engine.Telemetry.exported_gauges t.tel);
+  List.iter
+    (fun (name, h) ->
+      let count = Engine.Telemetry.Histogram.count h in
+      obs Engine.Tsdb.Counter (name ^ ".count") (float_of_int count);
+      if count > 0 then begin
+        obs Engine.Tsdb.Gauge (name ^ ".p50")
+          (Engine.Telemetry.Histogram.quantile h 0.5);
+        obs Engine.Tsdb.Gauge (name ^ ".p99")
+          (Engine.Telemetry.Histogram.quantile h 0.99)
+      end)
+    (Engine.Telemetry.exported_histograms t.tel)
+
 let audit_line t json =
   match t.config.audit with
   | None -> ()
@@ -177,6 +222,12 @@ let execute_remediation t (tn : T.t) ~attempt ~action ~now =
     t.remediations <- t.remediations + 1;
     rebuild_slo t
   | Error _ -> ());
+  annotate t ~kind:"remediation" ~tenant:tn.T.name
+    ~detail:
+      (Printf.sprintf "attempt %d: %s (%s)" attempt
+         (Remediation.action_to_string action)
+         (match result with Ok () -> "applied" | Error _ -> "failed"))
+    ();
   audit_line t
     (Remediation.audit_record ~now ~id:tn.T.id ~name:tn.T.name ~attempt
        ~action ~result ~epoch:(epoch t))
@@ -288,6 +339,7 @@ let status t =
   {
     Proto.epoch = epoch t;
     sim_time = Engine.Sim.now t.sim;
+    uptime_seconds = uptime_seconds t;
     draining = t.draining;
     policy = Qvisor.Policy.to_string (Qvisor.Runtime.policy t.runtime);
     tenants =
@@ -302,6 +354,8 @@ let status t =
         (Qvisor.Runtime.tenants t.runtime);
     resyntheses = Qvisor.Runtime.resyntheses t.runtime;
     remediations = t.remediations;
+    tsdb_series = Engine.Tsdb.series_count t.tsdb;
+    tsdb_memory_bytes = Engine.Tsdb.memory_bytes t.tsdb;
   }
 
 let unavailable op =
@@ -370,6 +424,8 @@ let handle_request t (req : Proto.request) : Proto.outcome =
 (* Scrape surface                                                     *)
 (* ------------------------------------------------------------------ *)
 
+let build_version = "0.9.0"
+
 let metrics_body t =
   let tenants = Qvisor.Runtime.tenants t.runtime in
   let tenant_names = List.map (fun tn -> (tn.T.id, tn.T.name)) tenants in
@@ -400,6 +456,23 @@ let metrics_body t =
         (float_of_int (epoch t));
       gauge "qvisor_daemon_draining" "1 while draining, else 0"
         (if t.draining then 1. else 0.);
+      gauge "qvisor_uptime_seconds" "wall-clock seconds since daemon start"
+        (uptime_seconds t);
+      Engine.Exposition.family ~name:"qvisor_build_info"
+        ~help:"build metadata; the value is always 1" Engine.Exposition.Gauge
+        [
+          {
+            Engine.Exposition.sample_name = "qvisor_build_info";
+            labels =
+              [ ("version", build_version); ("ocaml_version", Sys.ocaml_version) ];
+            value = 1.;
+          };
+        ];
+      gauge "qvisor_tsdb_series" "retention-store series interned"
+        (float_of_int (Engine.Tsdb.series_count t.tsdb));
+      gauge "qvisor_tsdb_memory_bytes"
+        "retention-store ring footprint (fixed per series)"
+        (float_of_int (Engine.Tsdb.memory_bytes t.tsdb));
       Engine.Exposition.family ~name:"qvisor_remediations_total"
         ~help:"remediation actions applied" Engine.Exposition.Counter
         [
@@ -418,6 +491,181 @@ let healthz_body t =
   let worst = Engine.Health.worst t.health in
   ( Engine.Health.state_to_string worst ^ "\n",
     worst <> Engine.Health.Violating )
+
+(* ------------------------------------------------------------------ *)
+(* Range query surface                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* ['*'] matches any substring, everything else is literal — enough to
+   select e.g. [net.tenant.*.drop] without a regex engine. *)
+let glob_match ~pattern name =
+  let pl = String.length pattern and nl = String.length name in
+  let rec go p n =
+    if p = pl then n = nl
+    else
+      match pattern.[p] with
+      | '*' -> go (p + 1) n || (n < nl && go p (n + 1))
+      | c -> n < nl && name.[n] = c && go (p + 1) (n + 1)
+  in
+  go 0 0
+
+(* The dotted registry names carry tenant ids inline: [net.tenant.3.drop],
+   [slo.tenant.3.fast_burn].  Pull the id back out so /query can filter
+   and label per tenant. *)
+let tenant_id_of_series name =
+  let n = String.length name in
+  let rec find i =
+    if i + 7 > n then None
+    else if
+      (i = 0 || name.[i - 1] = '.') && String.sub name i 7 = "tenant."
+    then begin
+      let j = ref (i + 7) in
+      while !j < n && name.[!j] >= '0' && name.[!j] <= '9' do
+        incr j
+      done;
+      if !j > i + 7 && (!j = n || name.[!j] = '.') then
+        int_of_string_opt (String.sub name (i + 7) (!j - i - 7))
+      else find (i + 1)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let query_body t params =
+  let module J = Engine.Json in
+  let ( let* ) = Result.bind in
+  let now = Engine.Tsdb.last_time t.tsdb in
+  let float_param name ~default =
+    match List.assoc_opt name params with
+    | None | Some "" -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f when Float.is_finite f -> Ok f
+      | _ -> Error (Printf.sprintf "parameter %S is not a number: %S" name v))
+  in
+  let* start = float_param "start" ~default:(-60.) in
+  let* stop = float_param "end" ~default:0. in
+  let* step = float_param "step" ~default:0. in
+  (* start/end at or below zero are relative to the newest sample, so
+     [?start=-60] is always "the last minute". *)
+  let absolute v = if v <= 0. then Float.max 0. (now +. v) else v in
+  let start = absolute start in
+  let stop = absolute stop in
+  let stop = if stop <= start then start +. 1. else stop in
+  let tenants = Qvisor.Runtime.tenants t.runtime in
+  let name_of_id id =
+    List.find_opt (fun (tn : T.t) -> tn.T.id = id) tenants
+    |> Option.map (fun (tn : T.t) -> tn.T.name)
+  in
+  let* tenant_id =
+    match List.assoc_opt "tenant" params with
+    | None | Some "" -> Ok None
+    | Some name -> (
+      match List.find_opt (fun (tn : T.t) -> tn.T.name = name) tenants with
+      | Some tn -> Ok (Some tn.T.id)
+      | None -> Error (Printf.sprintf "unknown tenant %S" name))
+  in
+  let pattern =
+    match List.assoc_opt "series" params with
+    | None | Some "" -> "*"
+    | Some p -> p
+  in
+  let selected =
+    Engine.Tsdb.names t.tsdb
+    |> List.filter (fun (name, _) ->
+           glob_match ~pattern name
+           &&
+           match tenant_id with
+           | None -> true
+           | Some id -> tenant_id_of_series name = Some id)
+  in
+  let step_opt = if step > 0. then Some step else None in
+  let series_json =
+    List.filter_map
+      (fun (name, _) ->
+        match Engine.Tsdb.query t.tsdb ~name ~start ~stop ?step:step_opt () with
+        | None -> None
+        | Some r ->
+          let tenant = Option.bind (tenant_id_of_series name) name_of_id in
+          let points =
+            Array.to_list r.Engine.Tsdb.r_points
+            |> List.map (function
+                 | None -> J.Null
+                 | Some (p : Engine.Tsdb.point) ->
+                   J.List
+                     [
+                       J.Number (float_of_int p.Engine.Tsdb.p_count);
+                       J.Number p.Engine.Tsdb.p_sum;
+                       J.Number p.Engine.Tsdb.p_min;
+                       J.Number p.Engine.Tsdb.p_max;
+                       J.Number p.Engine.Tsdb.p_last;
+                     ])
+          in
+          Some
+            (J.Obj
+               [
+                 ("name", J.String name);
+                 ( "kind",
+                   J.String (Engine.Tsdb.kind_to_string r.Engine.Tsdb.r_kind) );
+                 ( "tenant",
+                   match tenant with Some s -> J.String s | None -> J.Null );
+                 ("start", J.Number r.Engine.Tsdb.r_start);
+                 ("step", J.Number r.Engine.Tsdb.r_step);
+                 ("points", J.List points);
+               ]))
+      selected
+  in
+  (* Annotation window widened by a relative epsilon so an incident
+     stamped exactly at the newest sample still shows up. *)
+  let ann_stop = stop +. (1e-9 *. (1. +. Float.abs stop)) in
+  let annotations =
+    Engine.Tsdb.annotations ~start ~stop:ann_stop t.tsdb
+    |> List.map (fun (a : Engine.Tsdb.annotation) ->
+           J.Obj
+             [
+               ("t", J.Number a.Engine.Tsdb.a_time);
+               ("kind", J.String a.Engine.Tsdb.a_kind);
+               ( "tenant",
+                 match a.Engine.Tsdb.a_tenant with
+                 | Some s -> J.String s
+                 | None -> J.Null );
+               ("detail", J.String a.Engine.Tsdb.a_detail);
+             ])
+  in
+  let tenants_json =
+    List.map
+      (fun (tn : T.t) ->
+        J.Obj
+          [
+            ("id", J.Number (float_of_int tn.T.id));
+            ("name", J.String tn.T.name);
+            ("algorithm", J.String tn.T.algorithm);
+            ( "health",
+              J.String
+                (Engine.Health.state_to_string
+                   (Engine.Health.state t.health ~id:tn.T.id)) );
+          ])
+      tenants
+  in
+  Ok
+    (J.to_string
+       (J.Obj
+          [
+            ("now", J.Number now);
+            ("sim_time", J.Number (Engine.Sim.now t.sim));
+            ("uptime_seconds", J.Number (uptime_seconds t));
+            ("start", J.Number start);
+            ("end", J.Number stop);
+            ("series_count", J.Number (float_of_int (Engine.Tsdb.series_count t.tsdb)));
+            ( "memory_bytes",
+              J.Number (float_of_int (Engine.Tsdb.memory_bytes t.tsdb)) );
+            ( "per_series_bytes",
+              J.Number (float_of_int (Engine.Tsdb.per_series_bytes t.tsdb)) );
+            ("tenants", J.List tenants_json);
+            ("series", J.List series_json);
+            ("annotations", J.List annotations);
+          ])
+    ^ "\n")
 
 (* ------------------------------------------------------------------ *)
 (* Sockets                                                            *)
@@ -503,15 +751,20 @@ let serve_http t c =
     let resp =
       match Http.parse_request c.pending with
       | Error e -> Http.bad_request e
-      | Ok { Http.meth = "GET"; target = "/metrics" } ->
-        Http.response (metrics_body t)
-      | Ok { Http.meth = "GET"; target = "/healthz" } ->
-        let body, ok = healthz_body t in
-        if ok then Http.response ~content_type:"text/plain" body
-        else
-          Http.response ~status:503 ~reason:"Service Unavailable"
-            ~content_type:"text/plain" body
-      | Ok { Http.meth = "GET"; _ } -> Http.not_found
+      | Ok { Http.meth = "GET"; target } -> (
+        match Http.split_target target with
+        | "/metrics", _ -> Http.response (metrics_body t)
+        | "/healthz", _ ->
+          let body, ok = healthz_body t in
+          if ok then Http.response ~content_type:"text/plain" body
+          else
+            Http.response ~status:503 ~reason:"Service Unavailable"
+              ~content_type:"text/plain" body
+        | "/query", params -> (
+          match query_body t params with
+          | Ok body -> Http.response ~content_type:"application/json" body
+          | Error msg -> Http.bad_request msg)
+        | _ -> Http.not_found)
       | Ok _ -> Http.method_not_allowed
     in
     (try send c.fd resp with Unix.Unix_error _ -> ());
@@ -582,7 +835,21 @@ let create config =
       ~tenants:config.tenants ~policy:config.policy ()
   in
   let auditor = ref (make_auditor runtime ~load:config.load) in
-  let health = Engine.Health.create ?alerts:config.alerts () in
+  let tsdb = Engine.Tsdb.create () in
+  let health =
+    Engine.Health.create ?alerts:config.alerts
+      ~on_transition:(fun (tr : Engine.Health.transition) ->
+        Engine.Tsdb.annotate tsdb ~time:tr.Engine.Health.tr_time ~kind:"health"
+          ~tenant:tr.Engine.Health.tr_name
+          ~detail:
+            (Printf.sprintf "%s: %s -> %s%s" tr.Engine.Health.tr_source
+               (Engine.Health.state_to_string tr.Engine.Health.tr_from)
+               (Engine.Health.state_to_string tr.Engine.Health.tr_to)
+               (if tr.Engine.Health.tr_detail = "" then ""
+                else ": " ^ tr.Engine.Health.tr_detail))
+          ())
+      ()
+  in
   List.iter
     (fun tn -> Engine.Health.watch health ~id:tn.T.id ~name:tn.T.name)
     (Qvisor.Runtime.tenants runtime);
@@ -600,8 +867,26 @@ let create config =
         Sched.Bucket_queue.create ~name:"pifo"
           ~capacity_pkts:queue_capacity_pkts ()
   in
+  (* The recorder's trigger re-fires on every dump; one annotation per
+     link per second is plenty for the incident track. *)
+  let spike_last = Hashtbl.create 8 in
   let net =
     Netsim.Net.create ~sim ~topo ~routing ~make_qdisc
+      ~flight:Netsim.Net.default_flight
+      ~on_anomaly:(fun ~link_id _recorder ->
+        let now = Engine.Sim.now sim in
+        let rearmed =
+          match Hashtbl.find_opt spike_last link_id with
+          | Some t0 -> now -. t0 >= 1.0
+          | None -> true
+        in
+        if rearmed then begin
+          Hashtbl.replace spike_last link_id now;
+          Engine.Tsdb.annotate tsdb ~time:now ~kind:"drop-spike"
+            ~detail:
+              (Printf.sprintf "flight-recorder trigger on link %d" link_id)
+            ()
+        end)
       ~preprocess:(Qvisor.Runtime.process runtime)
       ~on_enqueue:(fun p -> Qvisor.Slo.on_enqueue !auditor p)
       ~on_dequeue:(fun (p : Sched.Packet.t) ->
@@ -637,6 +922,9 @@ let create config =
       remediation = Remediation.create ~config:config.remediation ();
       rng = Engine.Rng.create ~seed:config.seed;
       tel = config.telemetry;
+      tsdb;
+      started_wall = Unix.gettimeofday ();
+      next_snapshot = 0.;
       num_hosts = leaves * hosts_per_leaf;
       traffic = Hashtbl.create 8;
       ctl_listen;
@@ -662,11 +950,32 @@ let cleanup t =
   Option.iter flush t.config.audit
 
 let serve t =
+  (* Pacing anchor: the wall instant at which simulated time 0 "happened".
+     Serving stays ahead of this clock only by the unserved slice. *)
+  let wall0 = Unix.gettimeofday () -. Engine.Sim.now t.sim in
   while not t.stopping do
     let target = Engine.Sim.now t.sim +. t.config.slice in
     Engine.Sim.run ~until:target t.sim;
     tick t;
-    poll t ~timeout:0.002
+    let now = Engine.Sim.now t.sim in
+    if now >= t.next_snapshot then begin
+      snapshot t;
+      t.next_snapshot <- now +. t.config.snapshot_interval
+    end;
+    if t.config.pace then begin
+      (* Sleep inside [poll] until the wall clock catches up to the
+         simulated clock, so pacing never starves the control plane. *)
+      let rec pace_wait () =
+        let ahead = wall0 +. Engine.Sim.now t.sim -. Unix.gettimeofday () in
+        if ahead > 0. && not t.stopping then begin
+          poll t ~timeout:(Float.min ahead 0.05);
+          pace_wait ()
+        end
+      in
+      pace_wait ();
+      poll t ~timeout:0.
+    end
+    else poll t ~timeout:0.002
   done;
   (* Drain-out: give in-flight flows up to [drain_timeout] simulated
      seconds to land before tearing the fabric down. *)

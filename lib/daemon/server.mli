@@ -39,6 +39,13 @@ type config = {
   inject_qdisc : (capacity_pkts:int -> Sched.Qdisc.t) option;
       (** fault injection: overrides every port's scheduler (tests / the
           worked EXPERIMENTS session wire {!Conformance.Fault} in here) *)
+  pace : bool;
+      (** pace the slice loop to the wall clock (1 simulated second per
+          real second) instead of free-running; the waiting happens
+          inside [select], so the control plane stays responsive *)
+  snapshot_interval : float;
+      (** simulated seconds between retention-store snapshots of the
+          whole registry (default [1.0]) *)
 }
 
 val default_config : config
@@ -84,5 +91,35 @@ val metrics_body : t -> string
 
 val healthz_body : t -> string * bool
 (** Body and liveness verdict ([false] once any tenant is violating). *)
+
+val query_body :
+  t -> (string * string) list -> (string, string) result
+(** The [GET /query] JSON document for decoded query parameters:
+
+    - [series]: a [*]-wildcard pattern over retention-store names
+      (default [*]);
+    - [tenant]: restrict to series carrying that tenant's id (the
+      tenant is named, e.g. [tenant=pfabric]);
+    - [start], [end]: simulated seconds; values [<= 0] are relative to
+      the newest sample (defaults: the last 60 s);
+    - [step]: requested bucket width in seconds (the effective step may
+      be coarser — see {!Engine.Tsdb.query}).
+
+    The reply carries [now]/[sim_time]/[uptime_seconds], the fixed
+    memory bound ([memory_bytes], [per_series_bytes]), the live tenant
+    table with health states, one object per selected series (points as
+    [[count,sum,min,max,last]] or [null]), and the annotations that fall
+    inside the window.  [Error] is a client error (bad parameter). *)
+
+val snapshot : t -> unit
+(** Fold one sample of the whole live registry into the retention store
+    (what the serve loop does every [snapshot_interval]); exposed for
+    tests and the snapshot-overhead benchmark. *)
+
+val tsdb : t -> Engine.Tsdb.t
+(** The daemon's retention store. *)
+
+val uptime_seconds : t -> float
+(** Wall-clock seconds since {!create}. *)
 
 val sim_time : t -> float

@@ -24,19 +24,30 @@ type subject = {
   mutable current : state;
 }
 
+type transition = {
+  tr_id : int;
+  tr_name : string;
+  tr_time : float;
+  tr_source : string;
+  tr_detail : string;
+  tr_from : state;
+  tr_to : state;
+}
+
 type t = {
   config : config;
   alerts : out_channel option;
+  on_transition : (transition -> unit) option;
   subjects : (int, subject) Hashtbl.t;
   mutable transitions : int;
 }
 
-let create ?(config = default_config) ?alerts () =
+let create ?(config = default_config) ?alerts ?on_transition () =
   if config.degraded_strikes <= 0 then
     invalid_arg "Health.create: degraded_strikes <= 0";
   if config.violating_strikes <= config.degraded_strikes then
     invalid_arg "Health.create: violating_strikes <= degraded_strikes";
-  { config; alerts; subjects = Hashtbl.create 8; transitions = 0 }
+  { config; alerts; on_transition; subjects = Hashtbl.create 8; transitions = 0 }
 
 let watch t ~id ~name =
   Hashtbl.replace t.subjects id { name; strikes = 0; current = Healthy }
@@ -50,6 +61,19 @@ let state_of_strikes t strikes =
 
 let emit_alert t ~id ~time ~source ~detail subject ~from ~to_ =
   t.transitions <- t.transitions + 1;
+  (match t.on_transition with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        tr_id = id;
+        tr_name = subject.name;
+        tr_time = time;
+        tr_source = source;
+        tr_detail = detail;
+        tr_from = from;
+        tr_to = to_;
+      });
   match t.alerts with
   | None -> ()
   | Some oc ->

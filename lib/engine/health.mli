@@ -46,13 +46,31 @@ type config = {
 val default_config : config
 (** [{degraded_strikes = 2; violating_strikes = 4}]. *)
 
+type transition = {
+  tr_id : int;
+  tr_name : string;
+  tr_time : float;
+  tr_source : string;
+  tr_detail : string;
+  tr_from : state;
+  tr_to : state;
+}
+(** One state change, as handed to the [on_transition] callback. *)
+
 type t
 
-val create : ?config:config -> ?alerts:out_channel -> unit -> t
+val create :
+  ?config:config ->
+  ?alerts:out_channel ->
+  ?on_transition:(transition -> unit) ->
+  unit ->
+  t
 (** A fresh machine.  [alerts] (default: none) receives one NDJSON line
     per state transition; the channel stays owned by the caller and is
     flushed after every line, so a crashing run still leaves its alerts
-    behind.
+    behind.  [on_transition] (default: none) is invoked synchronously on
+    every transition, before the alert line is written — the daemon uses
+    it to annotate its retention store ({!Tsdb}).
     @raise Invalid_argument unless [0 < degraded_strikes <
     violating_strikes]. *)
 

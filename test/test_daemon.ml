@@ -51,6 +51,7 @@ let test_proto_replies () =
     {
       Daemon.Proto.epoch = 4;
       sim_time = 1.25;
+      uptime_seconds = 3.5;
       draining = true;
       policy = "edf >> pfabric";
       tenants =
@@ -70,6 +71,8 @@ let test_proto_replies () =
         ];
       resyntheses = 3;
       remediations = 2;
+      tsdb_series = 42;
+      tsdb_memory_bytes = 42 * 25_920;
     }
   in
   List.iter roundtrip_outcome
@@ -458,6 +461,207 @@ let test_socket_integration () =
   Alcotest.(check bool) "control socket unlinked" false
     (Sys.file_exists (Daemon.Server.socket_path t))
 
+(* ------------------------------------------------------------------ *)
+(* HTTP target parsing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_percent_decode () =
+  let check input expected =
+    Alcotest.(check string) (Printf.sprintf "%S" input) expected
+      (Daemon.Http.percent_decode input)
+  in
+  check "" "";
+  check "plain" "plain";
+  check "%41%42c" "ABc";
+  check "a+b" "a b";
+  check "net.%2A" "net.*";
+  check "100%25" "100%";
+  (* Malformed escapes pass through literally. *)
+  check "%" "%";
+  check "%4" "%4";
+  check "%zz" "%zz"
+
+let test_split_target () =
+  let kv = Alcotest.(pair string string) in
+  let check target (path, params) =
+    let path', params' = Daemon.Http.split_target target in
+    Alcotest.(check string) (target ^ " path") path path';
+    Alcotest.check (Alcotest.list kv) (target ^ " params") params params'
+  in
+  check "/metrics" ("/metrics", []);
+  check "/query?" ("/query", []);
+  check "/query?start=-60" ("/query", [ ("start", "-60") ]);
+  check "/query?series=net.%2A&step=5"
+    ("/query", [ ("series", "net.*"); ("step", "5") ]);
+  check "/query?tenant=a+b&flag" ("/query", [ ("tenant", "a b"); ("flag", "") ])
+
+(* ------------------------------------------------------------------ *)
+(* /query + dashboard integration                                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n > 0 && at 0
+
+(* Serve with the lifo-ties fault injected: the conformance oracle
+   drives a health transition, which must surface as a /query annotation
+   the dashboard and post-mortem can render. *)
+let test_query_dashboard_integration () =
+  let dir = Filename.temp_dir "qvisor-daemon-test" "" in
+  let config =
+    {
+      Daemon.Server.default_config with
+      Daemon.Server.socket_path = Filename.concat dir "ctl.sock";
+      http_port = 0;
+      slice = 0.01;
+      drain_timeout = 0.02;
+      snapshot_interval = 0.05;
+      telemetry = Engine.Telemetry.create ();
+      inject_qdisc = Some (Conformance.Fault.qdisc Conformance.Fault.Lifo_ties);
+    }
+  in
+  let t =
+    match Daemon.Server.create config with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "create: %s" (Qvisor.Error.to_string e)
+  in
+  let server_thread = Thread.create Daemon.Server.serve t in
+  let port = Daemon.Server.http_port t in
+  Unix.sleepf 0.05;
+  (* Poll until the snapshotter has populated the store and the injected
+     fault has produced a health annotation. *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  let has_health (d : Daemon.Dash.data) =
+    List.exists
+      (fun (a : Daemon.Dash.annotation) -> a.Daemon.Dash.a_kind = "health")
+      d.Daemon.Dash.annotations
+  in
+  let rec settle () =
+    let body = http_get port "/query?start=-120" in
+    match Daemon.Dash.data_of_body body with
+    | Error e -> Alcotest.failf "/query body did not decode: %s" e
+    | Ok d ->
+      (* The injected fault flips health on the very first tick, so also
+         wait for a later snapshot that carries the per-tenant counters. *)
+      if
+        has_health d
+        && Daemon.Dash.find_series d "net.tenant.0.enqueue" <> None
+      then d
+      else if Unix.gettimeofday () > deadline then
+        Alcotest.fail "no health annotation within the deadline"
+      else begin
+        Unix.sleepf 0.1;
+        settle ()
+      end
+  in
+  let d = settle () in
+  (* Shape: the documented fixed memory bound holds. *)
+  Alcotest.(check int) "per-series bound is the documented 25920 B" 25_920
+    d.Daemon.Dash.per_series_bytes;
+  Alcotest.(check int) "memory = series * per-series"
+    (d.Daemon.Dash.series_count * d.Daemon.Dash.per_series_bytes)
+    d.Daemon.Dash.memory_bytes;
+  Alcotest.(check bool) "store has interned series" true
+    (d.Daemon.Dash.series_count > 0);
+  (* Every range answer respects the hard point cap. *)
+  List.iter
+    (fun (s : Daemon.Dash.series) ->
+      if Array.length s.Daemon.Dash.points > Engine.Tsdb.max_points then
+        Alcotest.failf "series %s has %d points (cap %d)" s.Daemon.Dash.name
+          (Array.length s.Daemon.Dash.points)
+          Engine.Tsdb.max_points)
+    d.Daemon.Dash.series;
+  (* The paper's two tenants, each with a legal health state. *)
+  let tenant_names =
+    List.map (fun (tn : Daemon.Dash.tenant) -> tn.Daemon.Dash.name)
+      d.Daemon.Dash.tenants
+  in
+  Alcotest.(check (list string)) "tenants" [ "edf"; "pfabric" ]
+    (List.sort compare tenant_names);
+  List.iter
+    (fun (tn : Daemon.Dash.tenant) ->
+      if not (List.mem tn.Daemon.Dash.health [ "healthy"; "degraded"; "violating" ])
+      then Alcotest.failf "tenant %s: bad health %S" tn.Daemon.Dash.name
+          tn.Daemon.Dash.health)
+    d.Daemon.Dash.tenants;
+  (* Per-tenant network counters are present and typed. *)
+  (match Daemon.Dash.find_series d "net.tenant.0.enqueue" with
+  | Some s ->
+    Alcotest.(check string) "enqueue is a counter" "counter" s.Daemon.Dash.kind;
+    Alcotest.(check bool) "enqueue carries a tenant tag" true
+      (s.Daemon.Dash.tenant <> None);
+    Alcotest.(check bool) "enqueue has live buckets" true
+      (Array.exists Option.is_some s.Daemon.Dash.points)
+  | None -> Alcotest.fail "net.tenant.0.enqueue missing from /query");
+  (* Tenant filtering narrows the series list. *)
+  (match Daemon.Dash.data_of_body (http_get port "/query?start=-120&tenant=pfabric") with
+  | Error e -> Alcotest.failf "tenant-filtered /query: %s" e
+  | Ok df ->
+    Alcotest.(check bool) "filtered answer is non-empty" true
+      (df.Daemon.Dash.series <> []);
+    List.iter
+      (fun (s : Daemon.Dash.series) ->
+        Alcotest.(check (option string))
+          (s.Daemon.Dash.name ^ " belongs to pfabric")
+          (Some "pfabric") s.Daemon.Dash.tenant)
+      df.Daemon.Dash.series);
+  (* Glob filtering keeps only matching names. *)
+  (match Daemon.Dash.data_of_body (http_get port "/query?start=-120&series=net.%2A") with
+  | Error e -> Alcotest.failf "glob-filtered /query: %s" e
+  | Ok dg ->
+    Alcotest.(check bool) "glob answer is non-empty" true
+      (dg.Daemon.Dash.series <> []);
+    List.iter
+      (fun (s : Daemon.Dash.series) ->
+        if not (String.length s.Daemon.Dash.name >= 4
+                && String.sub s.Daemon.Dash.name 0 4 = "net.")
+        then Alcotest.failf "series %s escaped the net.* glob" s.Daemon.Dash.name)
+      dg.Daemon.Dash.series);
+  (* Bad parameters answer 400, not a crash. *)
+  (match Daemon.Http.get ~port "/query?start=abc" with
+  | Ok (status, _) -> Alcotest.(check int) "bad start is a 400" 400 status
+  | Error e -> Alcotest.failf "bad-parameter GET failed at the socket: %s" e);
+  (match Daemon.Http.get ~port "/query?tenant=ghost" with
+  | Ok (status, _) -> Alcotest.(check int) "unknown tenant is a 400" 400 status
+  | Error e -> Alcotest.failf "unknown-tenant GET failed at the socket: %s" e);
+  (* The dashboard frame renders every tenant with a badge and the
+     incident feed; color mode carries ANSI escapes, plain mode none. *)
+  let frame = Daemon.Dash.render_top ~color:false d in
+  Alcotest.(check bool) "top shows pfabric" true (contains "pfabric" frame);
+  Alcotest.(check bool) "top shows edf" true (contains "edf" frame);
+  Alcotest.(check bool) "top shows the incident feed" true
+    (contains "recent incidents:" frame);
+  Alcotest.(check bool) "top states the fixed memory bound" true
+    (contains "(fixed)" frame);
+  Alcotest.(check bool) "plain frame has no ANSI escapes" false
+    (contains "\027[" frame);
+  Alcotest.(check bool) "colored frame has ANSI escapes" true
+    (contains "\027[" (Daemon.Dash.render_top ~color:true d));
+  (* The post-mortem lists the injected-fault incident. *)
+  let report = Daemon.Dash.render_report d in
+  Alcotest.(check bool) "report has a header" true
+    (contains "qvisor report" report);
+  Alcotest.(check bool) "report lists the incident" true
+    (contains "incident:" report);
+  Alcotest.(check bool) "report names the health transition" true
+    (contains "[health]" report);
+  (* Status over the control socket reports the store's footprint. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX (Daemon.Server.socket_path t));
+  (match rpc fd Daemon.Proto.Status with
+  | Ok (Daemon.Proto.Status_reply st) ->
+    Alcotest.(check int) "status mirrors /query series count"
+      d.Daemon.Dash.series_count st.Daemon.Proto.tsdb_series;
+    Alcotest.(check bool) "status reports uptime" true
+      (st.Daemon.Proto.uptime_seconds > 0.)
+  | _ -> Alcotest.fail "status over the socket");
+  (match rpc fd Daemon.Proto.Shutdown with
+  | Ok Daemon.Proto.Shutting_down -> ()
+  | _ -> Alcotest.fail "shutdown must be acknowledged");
+  Unix.close fd;
+  Thread.join server_thread
+
 let () =
   Alcotest.run "daemon"
     [
@@ -490,9 +694,16 @@ let () =
           Alcotest.test_case "draining refuses mutations" `Quick
             test_draining_refuses_mutations;
         ] );
+      ( "http",
+        [
+          Alcotest.test_case "percent decoding" `Quick test_percent_decode;
+          Alcotest.test_case "target splitting" `Quick test_split_target;
+        ] );
       ( "socket",
         [
           Alcotest.test_case "end-to-end over the wire" `Slow
             test_socket_integration;
+          Alcotest.test_case "query, top and report end to end" `Slow
+            test_query_dashboard_integration;
         ] );
     ]

@@ -242,6 +242,59 @@ let test_roundtrip_single_run () =
           line (Exp.render_line parsed))
     (String.split_on_char '\n' (String.trim text))
 
+(* Label values are untrusted (tenant names arrive over the control
+   socket): the escaping of backslash / double-quote / newline must hold
+   through a full render → strict-parse round trip, raw value restored. *)
+let test_hostile_label_values () =
+  Alcotest.(check string) "escape backslash" {|a\\b|}
+    (Exp.escape_label_value {|a\b|});
+  Alcotest.(check string) "escape quote" {|say \"hi\"|}
+    (Exp.escape_label_value {|say "hi"|});
+  Alcotest.(check string) "escape newline" {|two\nlines|}
+    (Exp.escape_label_value "two\nlines");
+  List.iter
+    (fun hostile ->
+      let tel = Engine.Telemetry.create () in
+      Engine.Telemetry.Counter.add
+        (Engine.Telemetry.counter tel "net.tenant.0.drop")
+        7;
+      let text = Exp.render ~tenant_names:[ (0, hostile) ] tel in
+      match Exp.parse text with
+      | Error e -> Alcotest.failf "hostile name %S: %s" hostile e
+      | Ok lines ->
+        let tenant_label =
+          List.find_map
+            (function
+              | Exp.Sample s
+                when s.Exp.sample_name = "qvisor_net_tenant_drop_total" ->
+                List.assoc_opt "tenant" s.Exp.labels
+              | _ -> None)
+            lines
+        in
+        (match tenant_label with
+        | Some v ->
+          Alcotest.(check string)
+            (Printf.sprintf "label value %S survives the round trip" hostile)
+            hostile v
+        | None -> Alcotest.failf "hostile name %S: tenant sample missing" hostile);
+        (* And every emitted line stays canonical under re-rendering. *)
+        List.iteri
+          (fun i line ->
+            match Exp.parse_line line with
+            | Error e -> Alcotest.failf "line %d: %s" (i + 1) e
+            | Ok parsed ->
+              Alcotest.(check string)
+                (Printf.sprintf "line %d canonical" (i + 1))
+                line (Exp.render_line parsed))
+          (String.split_on_char '\n' (String.trim text)))
+    [
+      {|back\slash|};
+      {|quo"te|};
+      "new\nline";
+      "all\\three\"at\nonce";
+      {|trailing\|};
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Guard verdict counters                                             *)
 (* ------------------------------------------------------------------ *)
@@ -382,6 +435,8 @@ let () =
           Alcotest.test_case "empty registry" `Quick test_exposition_empty;
           Alcotest.test_case "name sanitization" `Quick test_sanitize;
           Alcotest.test_case "parser strictness" `Quick test_parser_strictness;
+          Alcotest.test_case "hostile label values" `Quick
+            test_hostile_label_values;
           Alcotest.test_case "single-run round trip" `Slow
             test_roundtrip_single_run;
         ] );
